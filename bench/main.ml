@@ -1,0 +1,226 @@
+(* Benchmark & reproduction harness.
+
+     dune exec bench/main.exe            -- everything (tables, figures,
+                                            experiments, microbenchmarks)
+     dune exec bench/main.exe -- <target>
+
+   Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
+            table1 table2 fig4 fig10 fig11 ablation micro
+
+   Each experiment target regenerates the corresponding paper artifact at
+   the "paper" model scale and prints the same rows/series the paper
+   reports: slice sizes, community structure, sampled central nodes,
+   detection outcomes, failure-rate tables and degree distributions.  The
+   `micro` target runs Bechamel timings of the pipeline stages. *)
+
+open Rca_experiments
+module MG = Rca_metagraph.Metagraph
+module G = Rca_graph
+
+let config = Rca_synth.Config.paper
+
+let params =
+  lazy { (Harness.default_params config) with Harness.ensemble_members = 20 }
+
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s finished in %.1fs]\n\n%!" label (Unix.gettimeofday () -. t0);
+  r
+
+let hr () = print_endline (String.make 78 '-')
+
+(* --- experiments (figures 5-8, 12-15 as textual series) ------------------------ *)
+
+let run_experiment spec =
+  hr ();
+  ignore
+    (time spec.Harness.name (fun () ->
+         let r = Harness.run spec (Lazy.force params) in
+         Format.printf "%a@." Harness.pp r;
+         if spec.Harness.name = "AVX2" then
+           Format.printf "%a@." Avx2_kernel.pp (Avx2_kernel.analyze r);
+         r))
+
+(* --- Table 1 --------------------------------------------------------------------- *)
+
+let run_table1 () =
+  hr ();
+  ignore
+    (time "Table 1" (fun () ->
+         let r = Table1.run (Table1.default_params config) in
+         Format.printf "%a@." Table1.pp r;
+         Format.printf "central modules: %s@."
+           (String.concat ", " (List.filteri (fun i _ -> i < 12) r.Table1.central_modules));
+         r))
+
+(* --- Table 2 --------------------------------------------------------------------- *)
+
+let run_table2 () =
+  hr ();
+  ignore
+    (time "Table 2" (fun () ->
+         let fixture = Fixture.make config in
+         Printf.printf "Table 2: output variables and internal counterparts\n";
+         Printf.printf "%-12s %-14s %-16s %s\n" "output" "internal" "module" "recovered from outfld";
+         List.iter
+           (fun e ->
+             let recovered = MG.io_internal_names fixture.Fixture.mg e.Rca_synth.Outputs.output in
+             Printf.printf "%-12s %-14s %-16s %s\n" e.Rca_synth.Outputs.output
+               e.Rca_synth.Outputs.internal e.Rca_synth.Outputs.module_
+               (String.concat "," recovered))
+           Rca_synth.Outputs.catalogue;
+         fixture))
+
+(* --- Figures ---------------------------------------------------------------------- *)
+
+let goffgratch_slice fixture =
+  let detect = Rca_core.Detector.never in
+  let pipeline =
+    Rca_core.Pipeline.run ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
+      ~max_iterations:0 fixture.Fixture.mg
+      ~outputs:[ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ]
+      ~detect
+  in
+  pipeline.Rca_core.Pipeline.slice
+
+let run_fig4 () =
+  hr ();
+  ignore
+    (time "Fig 4/9" (fun () ->
+         let fixture = Fixture.make config in
+         Format.printf "%a@." Figures.pp_degree_figure (Figures.fig4 fixture.Fixture.mg);
+         fixture))
+
+let run_fig10 () =
+  hr ();
+  ignore
+    (time "Fig 10" (fun () ->
+         let fixture = Fixture.make ~inject:Experiments.goffgratch.Harness.inject config in
+         let slice = goffgratch_slice fixture in
+         Format.printf "%a@." Figures.pp_degree_figure (Figures.fig10 slice);
+         slice))
+
+let run_fig11 () =
+  hr ();
+  ignore
+    (time "Fig 11" (fun () ->
+         let fixture = Fixture.make ~inject:Experiments.goffgratch.Harness.inject config in
+         let slice = goffgratch_slice fixture in
+         Format.printf "%a@." Figures.pp_centrality_figure (Figures.fig11 slice);
+         slice))
+
+(* --- Ablation ---------------------------------------------------------------------- *)
+
+let run_ablation () =
+  hr ();
+  ignore
+    (time "Ablation" (fun () ->
+         let rows = Ablation.run Rca_synth.Config.small in
+         Format.printf "%a@." Ablation.pp rows;
+         rows))
+
+(* --- Bechamel microbenchmarks ------------------------------------------------------- *)
+
+let microbenchmarks () =
+  hr ();
+  print_endline "Bechamel microbenchmarks of the pipeline stages (small scale)";
+  let open Bechamel in
+  let small = Rca_synth.Config.small in
+  let srcs = Rca_synth.Model.generate small in
+  let program =
+    Rca_synth.Model.build_filter
+      (Rca_synth.Model.parse_program ~strict:false srcs)
+      ~driver:"cam_driver"
+  in
+  let mg = MG.build program in
+  let slice = Rca_core.Slice.of_internals mg [ "qsout2"; "cld"; "flwds" ] in
+  let sub = Rca_core.Slice.subgraph slice in
+  let opts = Rca_synth.Model.default_opts small in
+  let tests =
+    [
+      Test.make ~name:"parse-model-sources" (Staged.stage (fun () ->
+          ignore (Rca_synth.Model.parse_program ~strict:false srcs)));
+      Test.make ~name:"metagraph-build" (Staged.stage (fun () -> ignore (MG.build program)));
+      Test.make ~name:"model-run-9-steps" (Staged.stage (fun () ->
+          ignore (Rca_synth.Model.run program opts)));
+      Test.make ~name:"backward-slice" (Staged.stage (fun () ->
+          ignore (Rca_core.Slice.of_internals mg [ "qsout2"; "cld"; "flwds" ])));
+      Test.make ~name:"girvan-newman-step" (Staged.stage (fun () ->
+          ignore (G.Community.girvan_newman_step ~approx:64 sub.G.Digraph.graph)));
+      Test.make ~name:"eigenvector-in-centrality" (Staged.stage (fun () ->
+          ignore (G.Centrality.eigenvector ~direction:G.Centrality.In sub.G.Digraph.graph)));
+      Test.make ~name:"nonbacktracking-centrality" (Staged.stage (fun () ->
+          ignore (G.Centrality.non_backtracking ~direction:G.Centrality.In sub.G.Digraph.graph)));
+      Test.make ~name:"module-quotient-rank" (Staged.stage (fun () ->
+          ignore (Rca_core.Module_rank.rank mg)));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 1.0 in
+    let cfg = Benchmark.cfg ~limit:500 ~quota ~kde:None () in
+    let measure = Toolkit.Instance.monotonic_clock in
+    let raw = Benchmark.all cfg [ measure ] (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ]) in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        measure raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            let label =
+              match String.index_opt name ' ' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            Printf.printf "  %-32s %12.3f ms/run\n%!" label (est /. 1e6)
+        | _ -> ())
+      ols
+  in
+  List.iter benchmark tests
+
+(* --- driver ---------------------------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("wsubbug", Experiments.wsubbug);
+    ("randmt", Experiments.rand_mt);
+    ("goffgratch", Experiments.goffgratch);
+    ("avx2", Experiments.avx2);
+    ("avx2full", Experiments.avx2_full);
+    ("randombug", Experiments.randombug);
+    ("dyn3bug", Experiments.dyn3bug);
+  ]
+
+let run_target = function
+  | "ablation" -> run_ablation ()
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "fig4" -> run_fig4 ()
+  | "fig10" -> run_fig10 ()
+  | "fig11" -> run_fig11 ()
+  | "micro" -> microbenchmarks ()
+  | name -> (
+      match List.assoc_opt name all_experiments with
+      | Some spec -> run_experiment spec
+      | None ->
+          Printf.eprintf "unknown target %S\n" name;
+          exit 1)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
+  match args with
+  | [] ->
+      Printf.printf "climate-rca reproduction harness (model scale: paper, %d modules)\n\n"
+        (Rca_synth.Config.total_modules config);
+      List.iter (fun (_, spec) -> run_experiment spec) all_experiments;
+      run_table1 ();
+      run_table2 ();
+      run_fig4 ();
+      run_fig10 ();
+      run_fig11 ();
+      run_ablation ();
+      microbenchmarks ()
+  | targets -> List.iter run_target targets

@@ -1,0 +1,223 @@
+(* climate-rca command-line interface.
+
+   Subcommands mirror the paper's workflow:
+     generate     emit the synthetic model source tree
+     stats        build-filter, coverage and metagraph statistics
+     modules      module ranking by quotient-graph centrality (Section 6.5)
+     experiment   run one of the six experiments end to end (Section 6)
+     table1       selective AVX2/FMA disablement (Table 1)
+     table2       selected outputs and internal counterparts (Table 2)
+     figures      degree-distribution and centrality figure data (Figs 4-11) *)
+
+open Cmdliner
+open Rca_experiments
+
+let config_of_string = function
+  | "tiny" -> Ok Rca_synth.Config.tiny
+  | "small" -> Ok Rca_synth.Config.small
+  | "paper" -> Ok Rca_synth.Config.paper
+  | s -> Error (`Msg (Printf.sprintf "unknown scale %S (tiny|small|paper)" s))
+
+let config_conv =
+  Arg.conv
+    ( (fun s -> config_of_string s),
+      fun ppf c ->
+        Format.fprintf ppf "%s"
+          (if c = Rca_synth.Config.tiny then "tiny"
+           else if c = Rca_synth.Config.small then "small"
+           else "paper") )
+
+let scale_arg =
+  Arg.(
+    value
+    & opt config_conv Rca_synth.Config.small
+    & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Model scale: tiny, small or paper.")
+
+let members_arg =
+  Arg.(
+    value
+    & opt int 20
+    & info [ "members" ] ~docv:"N" ~doc:"Control ensemble size.")
+
+(* --- generate ----------------------------------------------------------------- *)
+
+let generate_cmd =
+  let run config outdir =
+    let srcs = Rca_synth.Model.generate config in
+    (match outdir with
+    | None ->
+        List.iter
+          (fun (file, src) ->
+            Printf.printf "! ===== %s =====\n%s\n" file src)
+          srcs.Rca_synth.Model.files
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (file, src) ->
+            let oc = open_out (Filename.concat dir file) in
+            output_string oc src;
+            close_out oc)
+          srcs.Rca_synth.Model.files;
+        Printf.printf "wrote %d files to %s\n" (List.length srcs.Rca_synth.Model.files) dir);
+    0
+  in
+  let outdir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Write the source tree to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Emit the synthetic CAM-like Fortran source tree")
+    Term.(const run $ scale_arg $ outdir)
+
+(* --- stats --------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run config =
+    let fixture = Fixture.make config in
+    let total = List.length fixture.Fixture.clean_sources.Rca_synth.Model.files in
+    let built = List.length fixture.Fixture.exp_program in
+    Printf.printf "source tree: %d modules, %d code lines\n" total
+      (List.fold_left
+         (fun a (_, s) -> a + Rca_fortran.Source.count_code_lines s)
+         0 fixture.Fixture.clean_sources.Rca_synth.Model.files);
+    Printf.printf "build filter (KGen role): %d of %d modules compiled\n" built total;
+    Format.printf "coverage (codecov role): %a@." Rca_coverage.Coverage.pp_report
+      fixture.Fixture.coverage_report;
+    let mg = fixture.Fixture.mg in
+    Printf.printf "metagraph: %d nodes, %d edges\n"
+      (Rca_metagraph.Metagraph.n_nodes mg)
+      (Rca_graph.Digraph.m mg.Rca_metagraph.Metagraph.graph);
+    let st = mg.Rca_metagraph.Metagraph.stats in
+    Printf.printf
+      "parser chain: %d assignments (%d structured, %d relaxed, %d scraped, %d unhandled)\n"
+      st.Rca_metagraph.Metagraph.assignments_total st.Rca_metagraph.Metagraph.parsed_primary
+      st.Rca_metagraph.Metagraph.parsed_relaxed st.Rca_metagraph.Metagraph.parsed_scraped
+      st.Rca_metagraph.Metagraph.unhandled;
+    Format.printf "%a@."
+      Figures.pp_degree_figure (Figures.fig4 mg);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Pipeline statistics: build filter, coverage, metagraph")
+    Term.(const run $ scale_arg)
+
+(* --- modules --------------------------------------------------------------------- *)
+
+let modules_cmd =
+  let run config k =
+    let fixture = Fixture.make config in
+    let qn, qe = Rca_core.Module_rank.quotient_summary fixture.Fixture.mg in
+    Printf.printf "module quotient graph: %d nodes, %d edges\n" qn qe;
+    Printf.printf "%-4s %-24s %s\n" "rank" "module" "centrality";
+    List.iteri
+      (fun i e ->
+        if i < k then
+          Printf.printf "%-4d %-24s %.4f\n" (i + 1) e.Rca_core.Module_rank.module_name
+            e.Rca_core.Module_rank.score)
+      (Rca_core.Module_rank.rank fixture.Fixture.mg);
+    0
+  in
+  let k = Arg.(value & opt int 20 & info [ "k"; "top" ] ~docv:"K" ~doc:"Rows to print.") in
+  Cmd.v
+    (Cmd.info "modules" ~doc:"Rank modules by quotient-graph eigenvector centrality")
+    Term.(const run $ scale_arg $ k)
+
+(* --- experiment ------------------------------------------------------------------- *)
+
+let experiment_cmd =
+  let run config members runtime name =
+    match Experiments.find name with
+    | None ->
+        Printf.eprintf "unknown experiment %S (wsubbug|rand-mt|goffgratch|avx2|avx2-full|randombug|dyn3bug)\n" name;
+        1
+    | Some spec ->
+        let p =
+          {
+            (Harness.default_params config) with
+            Harness.ensemble_members = members;
+            detector = (if runtime then Harness.Runtime else Harness.Simulated);
+          }
+        in
+        let r = Harness.run spec p in
+        Format.printf "%a@." Harness.pp r;
+        if spec.Harness.name = "AVX2" then
+          Format.printf "%a@." Avx2_kernel.pp (Avx2_kernel.analyze r);
+        0
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Experiment name.")
+  in
+  let runtime_arg =
+    Arg.(
+      value & flag
+      & info [ "runtime-sampling" ]
+          ~doc:
+            "Drive the iterative refinement with genuine runtime sampling instead of the \
+             paper's simulated (reachability) sampling.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one paper experiment end to end")
+    Term.(const run $ scale_arg $ members_arg $ runtime_arg $ name_arg)
+
+(* --- table1 ------------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run config members =
+    let p = { (Table1.default_params config) with Table1.ensemble_members = members } in
+    Format.printf "%a@." Table1.pp (Table1.run p);
+    0
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Selective AVX2/FMA disablement failure rates (Table 1)")
+    Term.(const run $ scale_arg $ members_arg)
+
+(* --- table2 ------------------------------------------------------------------------ *)
+
+let table2_cmd =
+  let run config =
+    let fixture = Fixture.make config in
+    let mg = fixture.Fixture.mg in
+    Printf.printf "%-12s %-14s %s\n" "output" "internal" "module (from outfld instrumentation)";
+    List.iter
+      (fun e ->
+        let recovered = Rca_metagraph.Metagraph.io_internal_names mg e.Rca_synth.Outputs.output in
+        Printf.printf "%-12s %-14s %s%s\n" e.Rca_synth.Outputs.output
+          e.Rca_synth.Outputs.internal e.Rca_synth.Outputs.module_
+          (if List.mem e.Rca_synth.Outputs.internal recovered then ""
+           else "  [MISMATCH: recovered " ^ String.concat "," recovered ^ "]"))
+      Rca_synth.Outputs.catalogue;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Output variables and their internal counterparts (Table 2)")
+    Term.(const run $ scale_arg)
+
+(* --- figures ------------------------------------------------------------------------ *)
+
+let figures_cmd =
+  let run config =
+    let fixture = Fixture.make config in
+    let mg = fixture.Fixture.mg in
+    Format.printf "%a@." Figures.pp_degree_figure (Figures.fig4 mg);
+    (* GOFFGRATCH slice for figs 10 and 11 *)
+    let bugged = Harness.run ~validate_sampling:false Experiments.goffgratch
+        { (Harness.default_params config) with Harness.ensemble_members = 15 }
+    in
+    let slice = bugged.Harness.pipeline.Rca_core.Pipeline.slice in
+    Format.printf "%a@." Figures.pp_degree_figure (Figures.fig10 slice);
+    Format.printf "%a@." Figures.pp_centrality_figure (Figures.fig11 slice);
+    0
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Degree-distribution and centrality figure data (Figs 4, 9-11)")
+    Term.(const run $ scale_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "rca_main" ~version:"1.0.0"
+       ~doc:"Root cause analysis for large Fortran code bases (HPDC'19 reproduction)")
+    [ generate_cmd; stats_cmd; modules_cmd; experiment_cmd; table1_cmd; table2_cmd; figures_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

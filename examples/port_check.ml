@@ -1,0 +1,53 @@
+(* Port verification: the paper's AVX2/FMA scenario (Section 6.4-6.5).
+
+     dune exec examples/port_check.exe
+
+   A model is "ported" to hardware with fused multiply-add instructions.
+   The ensemble consistency test fails; KGen-style kernel extraction flags
+   the divergent microphysics variables; quotient-graph centrality ranks
+   the modules whose instructions to disable selectively (Table 1's
+   trade-off between optimization and statistical consistency). *)
+
+open Rca_experiments
+open Rca_synth
+
+let () =
+  let config = Config.small in
+  let fixture = Fixture.make config in
+
+  (* 1. the port fails the consistency test *)
+  let ensemble = Fixture.control_ensemble fixture ~members:20 in
+  let ect = Rca_ect.Ect.fit ~var_names:Model.output_names ensemble in
+  let ported =
+    Fixture.experimental_runs fixture ~members:3 ~opts:(fun o -> { o with Model.fma = `On })
+  in
+  Printf.printf "UF-ECT on the FMA-enabled port: %s\n\n%!"
+    (Rca_ect.Ect.verdict_string (Rca_ect.Ect.evaluate ect ported).Rca_ect.Ect.verdict);
+
+  (* 2. kernel extraction (KGen role): which microphysics variables
+     diverge between fused and unfused arithmetic? *)
+  let flags = Avx2_kernel.kgen_flags fixture in
+  Printf.printf "kernel variables with normalized RMS difference > 1e-12:\n";
+  List.iter
+    (fun d -> Printf.printf "  %-12s %.2e\n" d.Rca_interp.Kernel.var d.Rca_interp.Kernel.rms)
+    flags;
+
+  (* 3. module-level centrality (Section 6.5): where would instruction
+     differences propagate the most? *)
+  let ranking = Rca_core.Module_rank.rank fixture.Fixture.mg in
+  Printf.printf "\nmost central modules (candidates for selective disablement):\n";
+  List.iteri
+    (fun i e ->
+      if i < 8 then
+        Printf.printf "  %2d. %-22s %.4f\n" (i + 1) e.Rca_core.Module_rank.module_name
+          e.Rca_core.Module_rank.score)
+    ranking;
+
+  (* 4. verify: disabling FMA on the central modules restores consistency *)
+  let central = Rca_core.Module_rank.top_modules fixture.Fixture.mg 20 in
+  let selective =
+    Fixture.experimental_runs fixture ~members:3
+      ~opts:(fun o -> { o with Model.fma = `On_except central })
+  in
+  Printf.printf "\nUF-ECT with FMA disabled on the 20 most central modules: %s\n"
+    (Rca_ect.Ect.verdict_string (Rca_ect.Ect.evaluate ect selective).Rca_ect.Ect.verdict)

@@ -1,0 +1,23 @@
+(** Module-level analysis (paper Section 6.5): the quotient graph of
+    Fortran modules and its eigenvector centrality ranking, steering the
+    selective AVX2/FMA disablement of Table 1. *)
+
+module MG := Rca_metagraph.Metagraph
+
+type entry = { module_name : string; score : float }
+type ranking = entry list
+
+val quotient : MG.t -> Rca_graph.Quotient.t
+(** Contract the variable digraph under "same module". *)
+
+val rank : MG.t -> ranking
+(** Modules by combined in- and out-eigenvector centrality of the
+    quotient, descending. *)
+
+val top_modules : MG.t -> int -> string list
+
+val rank_by_loc : (string * int) list -> int -> string list
+(** The [k] largest modules by code lines — Table 1's size baseline. *)
+
+val quotient_summary : MG.t -> int * int
+(** (nodes, edges) of the module quotient graph. *)

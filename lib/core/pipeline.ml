@@ -1,0 +1,71 @@
+(* End-to-end orchestration of the root-cause-analysis process (the
+   paper's Figure 1): affected outputs -> hybrid slice -> community /
+   centrality refinement -> candidate locations, plus the reporting
+   helpers the experiments and CLI print. *)
+
+module MG = Rca_metagraph.Metagraph
+module G = Rca_graph
+
+type t = {
+  slice : Slice.t;
+  result : Refine.result;
+}
+
+(* Run the static pipeline: slice the metagraph on the affected outputs
+   and refine with the given detector. *)
+let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
+    ?gn_approx (mg : MG.t) ~outputs ~detect : t =
+  let slice = Slice.of_outputs ?keep_module ~min_cluster mg outputs in
+  let result =
+    Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx mg
+      ~initial:slice.Slice.nodes ~detect
+  in
+  { slice; result }
+
+let name_of mg id = (MG.node mg id).MG.unique
+
+let describe_nodes mg ids = List.map (name_of mg) ids
+
+(* Candidate bug locations after refinement: the final node set, described
+   as (unique name, module, subprogram, line). *)
+let candidates (mg : MG.t) t =
+  List.map
+    (fun id ->
+      let n = MG.node mg id in
+      (n.MG.unique, n.MG.module_, n.MG.subprogram, n.MG.line))
+    t.result.Refine.final_nodes
+
+(* Did the refinement isolate (or directly sample) any of the given bug
+   nodes? *)
+let located_bugs (_mg : MG.t) t ~bug_nodes =
+  let final = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace final v ()) t.result.Refine.final_nodes;
+  let sampled_detected =
+    List.concat_map (fun it -> it.Refine.detected) t.result.Refine.iterations
+  in
+  List.filter
+    (fun b -> Hashtbl.mem final b || List.mem b sampled_detected)
+    bug_nodes
+
+let pp_iteration mg ppf (i, (it : Refine.iteration)) =
+  Format.fprintf ppf "iteration %d: %d nodes, %d edges, %d communities (sizes %s)@." i
+    it.Refine.n_nodes it.Refine.n_edges
+    (List.length it.Refine.communities)
+    (String.concat ", "
+       (List.map (fun c -> string_of_int (List.length c)) it.Refine.communities));
+  List.iteri
+    (fun k sampled ->
+      Format.fprintf ppf "  community %d sampling: %s@." k
+        (String.concat ", " (describe_nodes mg sampled)))
+    it.Refine.sampled_by_community;
+  Format.fprintf ppf "  detected: %s@."
+    (if it.Refine.detected = [] then "(none)"
+     else String.concat ", " (describe_nodes mg it.Refine.detected))
+
+let pp ppf (mg, t) =
+  Format.fprintf ppf "slice: %d nodes (%d targets)@." (Slice.size t.slice)
+    (List.length t.slice.Slice.targets);
+  List.iteri (fun i it -> pp_iteration mg ppf (i + 1, it)) t.result.Refine.iterations;
+  Format.fprintf ppf "outcome: %s with %d candidate nodes@."
+    (Refine.outcome_string t.result.Refine.outcome)
+    (List.length t.result.Refine.final_nodes)

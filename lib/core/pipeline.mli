@@ -1,0 +1,40 @@
+(** End-to-end orchestration of the root-cause-analysis process (the
+    paper's Figure 1): affected outputs -> hybrid slice -> community /
+    centrality refinement -> candidate locations. *)
+
+module MG := Rca_metagraph.Metagraph
+
+type t = {
+  slice : Slice.t;
+  result : Refine.result;
+}
+
+val run :
+  ?keep_module:(string -> bool) ->
+  ?min_cluster:int ->
+  ?m_sample:int ->
+  ?min_community:int ->
+  ?max_iterations:int ->
+  ?stop_size:int ->
+  ?gn_approx:int ->
+  MG.t ->
+  outputs:string list ->
+  detect:Detector.t ->
+  t
+(** Slice the metagraph on the affected outputs and refine with the given
+    detector.  Defaults follow the paper: residual clusters under 4 nodes
+    dropped, 10 samples per community, one G-N split per iteration. *)
+
+val name_of : MG.t -> int -> string
+val describe_nodes : MG.t -> int list -> string list
+
+val candidates : MG.t -> t -> (string * string * string * int) list
+(** Final candidate locations as (unique name, module, subprogram,
+    line). *)
+
+val located_bugs : MG.t -> t -> bug_nodes:int list -> int list
+(** Which of the given bug nodes were isolated in the final set or
+    directly detected while sampling. *)
+
+val pp_iteration : MG.t -> Format.formatter -> int * Refine.iteration -> unit
+val pp : Format.formatter -> MG.t * t -> unit

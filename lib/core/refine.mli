@@ -1,0 +1,84 @@
+(** Algorithm 5.4: iterative refinement by community detection,
+    eigenvector in-centrality and (simulated or real) runtime sampling —
+    a k-ary search over the slice. *)
+
+module MG := Rca_metagraph.Metagraph
+
+type iteration = {
+  nodes : int list;  (** subgraph at the start of the iteration *)
+  n_nodes : int;
+  n_edges : int;
+  communities : int list list;  (** significant communities (>= min size) *)
+  sampled_by_community : int list list;  (** top-central ids per community *)
+  sampled : int list;
+  detected : int list;
+}
+
+type outcome =
+  | Converged  (** at or below the manual-analysis size *)
+  | Fixed_point  (** refinement stopped shrinking (paper Section 6.3) *)
+  | Exhausted  (** iteration budget reached *)
+  | Emptied  (** every node was excluded *)
+
+type result = {
+  iterations : iteration list;
+  final_nodes : int list;
+  outcome : outcome;
+}
+
+val ancestors_within : MG.t -> int list -> int list -> int list
+(** Ancestors of the targets with paths confined to the given node set. *)
+
+type partitioner = Girvan_newman | Louvain | Label_propagation
+
+val communities_of :
+  MG.t ->
+  ?gn_approx:int ->
+  ?min_community:int ->
+  ?partitioner:partitioner ->
+  int list ->
+  int list list
+(** Step 5's community split on the induced subgraph: one Girvan–Newman
+    iteration by default, or one of the alternative partitioners. *)
+
+type centrality_measure = Eigenvector_in | Pagerank | In_degree | Non_backtracking_in
+
+val centrality_scores : centrality_measure -> Rca_graph.Digraph.t -> float array
+
+val central_nodes :
+  MG.t -> ?m_sample:int -> ?measure:centrality_measure -> int list -> int list
+(** The top-m central, runtime-instrumentable nodes of one community
+    (step 6); eigenvector in-centrality by default. *)
+
+val centrality_ranking : MG.t -> int list -> (int * float) list
+(** Full in-centrality ranking of a community, for reporting (the paper's
+    AVX2 REPL listing). *)
+
+val by_magnitude : (int -> float) -> int list -> int option
+(** Chooser for [choose_when_stuck]: the detected node with the greatest
+    observed difference magnitude (the paper's proposed ranking). *)
+
+val smallest_ancestry : MG.t -> int list -> int list -> int option
+(** Chooser: the detected node with the smallest in-slice ancestor
+    closure — the maximally refining pick when all sampled nodes appear
+    equally affected (the paper's alternative proposal). *)
+
+val refine :
+  ?m_sample:int ->
+  ?min_community:int ->
+  ?max_iterations:int ->
+  ?stop_size:int ->
+  ?gn_approx:int ->
+  ?partitioner:partitioner ->
+  ?measure:centrality_measure ->
+  ?choose_when_stuck:(int list -> int list -> int option) ->
+  MG.t ->
+  initial:int list ->
+  detect:Detector.t ->
+  result
+(** Run Algorithm 5.4 from the [initial] node set: split (5), rank (6),
+    sample (7), shrink by 8a (nothing detected: drop the sampled nodes'
+    ancestor closure) or 8b (keep the detected nodes' ancestors), repeat
+    (9). *)
+
+val outcome_string : outcome -> string

@@ -1,0 +1,102 @@
+(* Hybrid program slicing (paper Section 5.1).
+
+   Given the set of output variables most affected by a discrepancy, find
+   every node lying on a shortest directed path that terminates on a node
+   whose *canonical name* matches an affected internal variable, and
+   induce the subgraph on the union.  Because every ancestor of a target
+   lies on the shortest path from itself to the target, the union equals
+   the ancestor set — a static backward slice, made "hybrid" by the fact
+   that the graph was built from coverage-filtered source. *)
+
+module MG = Rca_metagraph.Metagraph
+module G = Rca_graph
+
+type t = {
+  mg : MG.t;  (* the (possibly restricted) graph the slice lives in *)
+  nodes : int list;  (* slice node ids, ascending *)
+  targets : int list;  (* the slicing criteria nodes *)
+}
+
+let size t = List.length t.nodes
+
+(* Map affected *output* (file) names to internal canonical names via the
+   recorded outfld label instrumentation. *)
+let internal_names_of_outputs (mg : MG.t) outputs =
+  List.concat_map (fun o -> MG.io_internal_names mg o) outputs |> List.sort_uniq compare
+
+(* Target nodes: every node whose canonical name matches (paper: searching
+   for the canonical name rather than the I/O call site enlarges the slice
+   but guarantees the discrepancy source is inside it). *)
+let target_nodes (mg : MG.t) internals =
+  List.concat_map (fun n -> MG.nodes_with_canonical mg n) internals
+  |> List.sort_uniq compare
+
+(* Keep only nodes from modules accepted by [keep_module] (e.g. the
+   CAM-only restriction of Section 6): edges through excluded modules are
+   cut, which produces the residual clusters the paper then drops. *)
+let restricted_ancestors (mg : MG.t) ~keep_module targets =
+  let g = mg.MG.graph in
+  let n = G.Digraph.n g in
+  let keep = Array.init n (fun id -> keep_module (MG.node mg id).MG.module_) in
+  let mark = Array.make n false in
+  let q = Queue.create () in
+  List.iter
+    (fun t ->
+      if keep.(t) && not mark.(t) then begin
+        mark.(t) <- true;
+        Queue.add t q
+      end)
+    targets;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun p ->
+        if keep.(p) && not mark.(p) then begin
+          mark.(p) <- true;
+          Queue.add p q
+        end)
+      (G.Digraph.pred g v)
+  done;
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if mark.(v) then acc := v :: !acc
+  done;
+  !acc
+
+(* Drop weakly connected residual clusters smaller than [min_cluster]
+   (paper: "residual clusters of less than four nodes ... their removal
+   does not affect the results"). *)
+let drop_small_clusters (mg : MG.t) nodes ~min_cluster =
+  if min_cluster <= 1 then nodes
+  else begin
+    let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
+    let comps = G.Components.weakly_connected_components sub.G.Digraph.graph in
+    List.concat_map
+      (fun comp ->
+        if List.length comp >= min_cluster then
+          List.map (G.Digraph.sub_to_parent sub) comp
+        else [])
+      comps
+    |> List.sort compare
+  end
+
+(* Slice on internal canonical names. *)
+let of_internals ?(keep_module = fun _ -> true) ?(min_cluster = 1) (mg : MG.t) internals : t
+    =
+  let targets = target_nodes mg internals in
+  let nodes = restricted_ancestors mg ~keep_module targets in
+  let nodes = drop_small_clusters mg nodes ~min_cluster in
+  { mg; nodes; targets = List.filter (fun t -> List.mem t nodes) targets }
+
+(* Slice on affected output (history) names, resolving the label -> internal
+   mapping first. *)
+let of_outputs ?keep_module ?min_cluster (mg : MG.t) outputs : t =
+  of_internals ?keep_module ?min_cluster mg (internal_names_of_outputs mg outputs)
+
+(* The induced subgraph of the slice, with the node correspondence. *)
+let subgraph t = G.Digraph.induced_subgraph t.mg.MG.graph t.nodes
+
+let contains t id = List.mem id t.nodes
+
+let node_names t =
+  List.map (fun id -> (t.mg.MG.node_meta.(id)).MG.unique) t.nodes

@@ -1,0 +1,39 @@
+(** Hybrid program slicing (paper Section 5.1): the static backward slice
+    of the variable digraph on the canonical names of the affected
+    internal variables, computed over coverage-filtered source. *)
+
+module MG := Rca_metagraph.Metagraph
+
+type t = {
+  mg : MG.t;  (** the graph the slice lives in *)
+  nodes : int list;  (** slice node ids, ascending *)
+  targets : int list;  (** the slicing-criteria nodes kept in the slice *)
+}
+
+val size : t -> int
+
+val internal_names_of_outputs : MG.t -> string list -> string list
+(** Resolve history/output names to internal canonical names through the
+    recorded [outfld] label instrumentation. *)
+
+val target_nodes : MG.t -> string list -> int list
+(** Every node whose canonical name matches — the paper's widened slicing
+    criterion that guarantees the discrepancy source is inside the
+    slice. *)
+
+val of_internals :
+  ?keep_module:(string -> bool) -> ?min_cluster:int -> MG.t -> string list -> t
+(** Slice on internal canonical names.  [keep_module] cuts nodes from
+    excluded modules (the CAM-only restriction); [min_cluster] drops
+    weakly connected residual clusters below that size (the paper drops
+    clusters of fewer than 4 nodes). *)
+
+val of_outputs :
+  ?keep_module:(string -> bool) -> ?min_cluster:int -> MG.t -> string list -> t
+(** Slice on affected output names, resolving the label map first. *)
+
+val subgraph : t -> Rca_graph.Digraph.sub
+(** The induced subgraph with the node-id correspondence. *)
+
+val contains : t -> int -> bool
+val node_names : t -> string list

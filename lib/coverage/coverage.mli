@@ -1,0 +1,35 @@
+(** Code coverage recording and filtering — the Intel codecov substitute
+    (paper Section 4.1): record execution over a short probe run, then
+    drop unexecuted modules and comment out uncalled subprograms before
+    building the metagraph. *)
+
+type t
+(** A coverage recording: executed (module, subprogram, line) triples. *)
+
+val create : unit -> t
+
+val attach : t -> Rca_interp.Machine.t -> unit
+(** Install the recording hook on a machine (replaces its statement
+    hook). *)
+
+val record : drive:(Rca_interp.Machine.t -> unit) -> Rca_interp.Machine.t -> t
+(** Record coverage over [drive machine] and detach the hook. *)
+
+val module_executed : t -> string -> bool
+val subprogram_executed : t -> module_:string -> sub:string -> bool
+val line_executed : t -> module_:string -> sub:string -> line:int -> bool
+
+type report = {
+  modules_total : int;
+  modules_executed : int;
+  subprograms_total : int;
+  subprograms_executed : int;
+  lines_executed : int;
+}
+
+val report : Rca_fortran.Ast.program -> t -> report
+val pp_report : Format.formatter -> report -> unit
+
+val filter_program : Rca_fortran.Ast.program -> t -> Rca_fortran.Ast.program
+(** Keep only executed modules, and within them only executed
+    subprograms (declarations, types, uses and interfaces are kept). *)

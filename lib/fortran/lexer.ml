@@ -1,0 +1,150 @@
+(* Tokenizer for one logical Fortran line.  Fortran is case-insensitive:
+   identifiers are lowercased here, once, so every later stage compares
+   names directly. *)
+
+type token =
+  | Ident of string
+  | Inum of int
+  | Rnum of float
+  | Str of string
+  | Op of string  (* punctuation and operators, e.g. "+", "::", "=>" *)
+  | Dotop of string  (* .and. .or. .not. .true. .false. .eq. ... — the payload *)
+
+exception Lex_error of string
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_alpha c || is_digit c || c = '_'
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "ident:%s" s
+  | Inum i -> Format.fprintf ppf "int:%d" i
+  | Rnum f -> Format.fprintf ppf "real:%g" f
+  | Str s -> Format.fprintf ppf "str:%S" s
+  | Op s -> Format.fprintf ppf "op:%s" s
+  | Dotop s -> Format.fprintf ppf ".%s." s
+
+let token_to_string t = Format.asprintf "%a" pp_token t
+
+(* Scan a numeric literal starting at [i]; returns (token, next index).
+   Handles 123, 1.5, .5, 1., 1e-3, 2.5d0 and trailing kind suffixes like
+   1.0_r8 (the suffix is consumed and dropped). *)
+let scan_number s i =
+  let n = String.length s in
+  let j = ref i in
+  let saw_dot = ref false and saw_exp = ref false in
+  let buf = Buffer.create 16 in
+  while !j < n && is_digit s.[!j] do
+    Buffer.add_char buf s.[!j];
+    incr j
+  done;
+  if !j < n && s.[!j] = '.' && not (!j + 1 < n && is_alpha s.[!j + 1]) then begin
+    (* a '.' followed by a letter starts a dot-operator, not a decimal *)
+    saw_dot := true;
+    Buffer.add_char buf '.';
+    incr j;
+    while !j < n && is_digit s.[!j] do
+      Buffer.add_char buf s.[!j];
+      incr j
+    done
+  end;
+  (if !j < n && (s.[!j] = 'e' || s.[!j] = 'E' || s.[!j] = 'd' || s.[!j] = 'D') then begin
+     let k = !j + 1 in
+     let k = if k < n && (s.[k] = '+' || s.[k] = '-') then k + 1 else k in
+     if k < n && is_digit s.[k] then begin
+       saw_exp := true;
+       Buffer.add_char buf 'e';
+       incr j;
+       if s.[!j] = '+' || s.[!j] = '-' then begin
+         Buffer.add_char buf s.[!j];
+         incr j
+       end;
+       while !j < n && is_digit s.[!j] do
+         Buffer.add_char buf s.[!j];
+         incr j
+       done
+     end
+   end);
+  (* kind suffix: _r8, _8, _shr_kind_r8 ... *)
+  if !j < n && s.[!j] = '_' && !j + 1 < n && is_ident_char s.[!j + 1] then begin
+    incr j;
+    while !j < n && is_ident_char s.[!j] do
+      incr j
+    done
+  end;
+  let text = Buffer.contents buf in
+  let tok =
+    if !saw_dot || !saw_exp then Rnum (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some v -> Inum v
+      | None -> Rnum (float_of_string text)
+  in
+  (tok, !j)
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = line.[i] in
+      if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if is_digit c then begin
+        let tok, j = scan_number line i in
+        emit tok;
+        go j
+      end
+      else if c = '.' && i + 1 < n && is_digit line.[i + 1] then begin
+        let tok, j = scan_number line i in
+        emit tok;
+        go j
+      end
+      else if c = '.' && i + 1 < n && is_alpha line.[i + 1] then begin
+        (* dot operator: .and. .true. ... *)
+        let j = ref (i + 1) in
+        while !j < n && is_alpha line.[!j] do
+          incr j
+        done;
+        if !j < n && line.[!j] = '.' then begin
+          emit (Dotop (String.lowercase_ascii (String.sub line (i + 1) (!j - i - 1))));
+          go (!j + 1)
+        end
+        else raise (Lex_error (Printf.sprintf "unterminated dot-operator at %d in %S" i line))
+      end
+      else if is_alpha c || c = '_' then begin
+        let j = ref i in
+        while !j < n && is_ident_char line.[!j] do
+          incr j
+        done;
+        emit (Ident (String.lowercase_ascii (String.sub line i (!j - i))));
+        go !j
+      end
+      else if c = '\'' || c = '"' then begin
+        let j = ref (i + 1) in
+        let buf = Buffer.create 16 in
+        while !j < n && line.[!j] <> c do
+          Buffer.add_char buf line.[!j];
+          incr j
+        done;
+        if !j >= n then raise (Lex_error (Printf.sprintf "unterminated string in %S" line));
+        emit (Str (Buffer.contents buf));
+        go (!j + 1)
+      end
+      else begin
+        let two = if i + 1 < n then String.sub line i 2 else "" in
+        match two with
+        | "::" | "=>" | "==" | "/=" | "<=" | ">=" | "**" | "//" ->
+            emit (Op two);
+            go (i + 2)
+        | _ -> (
+            match c with
+            | '+' | '-' | '*' | '/' | '(' | ')' | ',' | '=' | '%' | '<' | '>' | ':' ->
+                emit (Op (String.make 1 c));
+                go (i + 1)
+            | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C in %S" c line)))
+      end
+  in
+  go 0;
+  List.rev !toks

@@ -1,0 +1,80 @@
+(* Free-form Fortran source handling: comment stripping, `&` continuation
+   joining, and logical-line numbering.  Every downstream stage (lexer,
+   coverage, bug injection) works with logical lines produced here. *)
+
+type logical_line = {
+  text : string;  (* joined statement text, comments stripped *)
+  line : int;  (* 1-based physical line number of the first fragment *)
+}
+
+(* Strip a trailing `!` comment, respecting single- and double-quoted
+   strings. *)
+let strip_comment s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i quote =
+    if i >= n then Buffer.contents buf
+    else
+      let c = s.[i] in
+      match quote with
+      | Some q ->
+          Buffer.add_char buf c;
+          go (i + 1) (if c = q then None else quote)
+      | None ->
+          if c = '!' then Buffer.contents buf
+          else begin
+            Buffer.add_char buf c;
+            go (i + 1) (if c = '\'' || c = '"' then Some c else None)
+          end
+  in
+  go 0 None
+
+let is_blank s = String.trim s = ""
+
+(* Split [source] into logical lines.  A line ending in `&` continues on
+   the next non-blank line; a leading `&` on the continuation is eaten
+   (both free-form conventions appear in CESM). *)
+let logical_lines source =
+  let physical = String.split_on_char '\n' source in
+  let result = ref [] in
+  let pending = Buffer.create 80 in
+  let pending_start = ref 0 in
+  let flush () =
+    let text = String.trim (Buffer.contents pending) in
+    if text <> "" then result := { text; line = !pending_start } :: !result;
+    Buffer.clear pending
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let stripped = strip_comment raw in
+      if not (is_blank stripped) then begin
+        let body = String.trim stripped in
+        let body =
+          if String.length body > 0 && body.[0] = '&' then
+            String.trim (String.sub body 1 (String.length body - 1))
+          else body
+        in
+        let continued = String.length body > 0 && body.[String.length body - 1] = '&' in
+        let body =
+          if continued then String.trim (String.sub body 0 (String.length body - 1))
+          else body
+        in
+        if Buffer.length pending = 0 then pending_start := lineno;
+        Buffer.add_string pending body;
+        Buffer.add_char pending ' ';
+        if not continued then flush ()
+      end)
+    physical;
+  flush ();
+  List.rev !result
+
+let count_physical_lines source =
+  List.length (String.split_on_char '\n' source)
+
+(* Physical non-comment, non-blank line count — the "lines of code" metric
+   used when ranking modules by size for Table 1. *)
+let count_code_lines source =
+  String.split_on_char '\n' source
+  |> List.filter (fun l -> not (is_blank (strip_comment l)))
+  |> List.length

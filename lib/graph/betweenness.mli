@@ -1,0 +1,26 @@
+(** Brandes' algorithm (2001) for betweenness centrality on unweighted
+    graphs.  Edge betweenness is the engine of Girvan–Newman community
+    detection. *)
+
+type accumulators = {
+  node_bc : float array;
+  edge_bc : (int * int, float) Hashtbl.t;
+}
+
+val create_acc : Digraph.t -> accumulators
+
+val accumulate_from : Digraph.t -> accumulators -> int -> unit
+(** Add one source's shortest-path dependency contributions (the unit of
+    work source-sampled estimation repeats). *)
+
+val compute : Digraph.t -> accumulators
+(** Exact betweenness from every source. *)
+
+val node_betweenness : ?normalized:bool -> Digraph.t -> float array
+(** Node betweenness; normalized by [(n-1)(n-2)] when requested. *)
+
+val edge_betweenness : Digraph.t -> (int * int, float) Hashtbl.t
+(** Per-directed-edge shortest-path counts. *)
+
+val max_edge : Digraph.t -> (int * int * float) option
+(** The single highest-betweenness edge, ties broken by edge order. *)

@@ -1,0 +1,180 @@
+(* Node centralities (paper Sections 5.2–5.3 and supplementary 8.1).
+
+   The pipeline ranks nodes inside each community by eigenvector
+   *in*-centrality (information sinks: nodes likely to be affected by bug
+   sources).  Degree, Katz, PageRank and the Hashimoto non-backtracking
+   centrality are provided for the comparisons the paper reports. *)
+
+type direction = In | Out
+
+let l2_normalize x =
+  let s = sqrt (Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x) in
+  if s > 0.0 then Array.map (fun v -> v /. s) x else x
+
+let degree ?(direction = Out) g =
+  let n = Digraph.n g in
+  let scale = if n > 1 then 1.0 /. float_of_int (n - 1) else 1.0 in
+  Array.init n (fun v ->
+      let d = match direction with Out -> Digraph.out_degree g v | In -> Digraph.in_degree g v in
+      float_of_int d *. scale)
+
+(* Eigenvector centrality by shifted power iteration, x <- x + M x with
+   M = A^T for [In] (x_v accumulates from predecessors) and M = A for
+   [Out].  The identity shift is the same trick NetworkX uses to force
+   convergence on graphs whose dominant eigenvalue is not unique. *)
+let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) g =
+  let n = Digraph.n g in
+  if n = 0 then [||]
+  else begin
+    let x = Array.make n (1.0 /. float_of_int n) in
+    let x' = Array.make n 0.0 in
+    let rec iterate k x x' =
+      if k = 0 then x
+      else begin
+        Array.blit x 0 x' 0 n;
+        Digraph.iter_edges
+          (fun u v ->
+            match direction with
+            | In -> x'.(v) <- x'.(v) +. x.(u)
+            | Out -> x'.(u) <- x'.(u) +. x.(v))
+          g;
+        let x'' = l2_normalize x' in
+        let delta = ref 0.0 in
+        for i = 0 to n - 1 do
+          delta := !delta +. abs_float (x''.(i) -. x.(i))
+        done;
+        if !delta < tol *. float_of_int n then x''
+        else begin
+          Array.blit x'' 0 x 0 n;
+          iterate (k - 1) x x'
+        end
+      end
+    in
+    iterate max_iter x x'
+  end
+
+(* Katz centrality with attenuation [alpha] and unit exogenous weight,
+   solved by fixed-point iteration: x = alpha * M x + 1. *)
+let katz ?(direction = In) ?(alpha = 0.05) ?(max_iter = 500) ?(tol = 1e-10) g =
+  let n = Digraph.n g in
+  if n = 0 then [||]
+  else begin
+    let x = Array.make n 1.0 in
+    let rec iterate k =
+      if k = 0 then ()
+      else begin
+        let x' = Array.make n 1.0 in
+        Digraph.iter_edges
+          (fun u v ->
+            match direction with
+            | In -> x'.(v) <- x'.(v) +. (alpha *. x.(u))
+            | Out -> x'.(u) <- x'.(u) +. (alpha *. x.(v)))
+          g;
+        let delta = ref 0.0 in
+        for i = 0 to n - 1 do
+          delta := !delta +. abs_float (x'.(i) -. x.(i));
+          x.(i) <- x'.(i)
+        done;
+        if !delta >= tol then iterate (k - 1)
+      end
+    in
+    iterate max_iter;
+    l2_normalize x
+  end
+
+(* PageRank with damping [d]; dangling mass is redistributed uniformly.
+   Eigenvector centrality "is related to PageRank" (paper Section 5.3) and
+   this implementation backs that comparison. *)
+let pagerank ?(d = 0.85) ?(max_iter = 200) ?(tol = 1e-12) g =
+  let n = Digraph.n g in
+  if n = 0 then [||]
+  else begin
+    let nf = float_of_int n in
+    let x = Array.make n (1.0 /. nf) in
+    let outdeg = Array.init n (fun v -> Digraph.out_degree g v) in
+    let rec iterate k =
+      if k = 0 then ()
+      else begin
+        let dangling = ref 0.0 in
+        for v = 0 to n - 1 do
+          if outdeg.(v) = 0 then dangling := !dangling +. x.(v)
+        done;
+        let base = ((1.0 -. d) /. nf) +. (d *. !dangling /. nf) in
+        let x' = Array.make n base in
+        Digraph.iter_edges
+          (fun u v -> x'.(v) <- x'.(v) +. (d *. x.(u) /. float_of_int outdeg.(u)))
+          g;
+        let delta = ref 0.0 in
+        for i = 0 to n - 1 do
+          delta := !delta +. abs_float (x'.(i) -. x.(i));
+          x.(i) <- x'.(i)
+        done;
+        if !delta >= tol then iterate (k - 1)
+      end
+    in
+    iterate max_iter;
+    x
+  end
+
+(* Hashimoto non-backtracking centrality (supplementary 8.1).
+
+   The non-backtracking matrix B acts on directed edges:
+   B[(u->v),(w->x)] = 1 iff v = w and x <> u.  We power-iterate on the edge
+   vector and collapse to nodes with c_i = sum over out-edges (i->q) of
+   v_(i->q).  For in-centrality the graph is reversed first, mirroring the
+   paper's use of A^T. *)
+let non_backtracking ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) g =
+  let g = match direction with In -> Digraph.reverse g | Out -> g in
+  let n = Digraph.n g in
+  let edge_arr = Array.of_list (Digraph.edges g) in
+  let m = Array.length edge_arr in
+  if m = 0 then Array.make n 0.0
+  else begin
+    (* out_edge_ids.(v) = ids of edges leaving v *)
+    let out_edge_ids = Array.make n [] in
+    Array.iteri (fun e (u, _) -> out_edge_ids.(u) <- e :: out_edge_ids.(u)) edge_arr;
+    let x = Array.make m (1.0 /. float_of_int m) in
+    let rec iterate k =
+      if k = 0 then ()
+      else begin
+        let x' = Array.make m 0.0 in
+        (* v'(u->v) = sum over (v->w), w<>u of v(v->w): gather formulation
+           of x' = B x with B as defined above (out-neighbors of an edge). *)
+        Array.iteri
+          (fun e (u, v) ->
+            List.iter
+              (fun e' ->
+                let _, w = edge_arr.(e') in
+                if w <> u then x'.(e) <- x'.(e) +. x.(e'))
+              out_edge_ids.(v))
+          edge_arr;
+        let x'' = l2_normalize x' in
+        let delta = ref 0.0 in
+        for i = 0 to m - 1 do
+          delta := !delta +. abs_float (x''.(i) -. x.(i));
+          x.(i) <- x''.(i)
+        done;
+        if !delta >= tol *. float_of_int m then iterate (k - 1)
+      end
+    in
+    iterate max_iter;
+    let c = Array.make n 0.0 in
+    Array.iteri (fun e (u, _) -> c.(u) <- c.(u) +. x.(e)) edge_arr;
+    c
+  end
+
+(* Nodes ranked by descending score; ties broken by node id so rankings are
+   reproducible. *)
+let rank scores =
+  let idx = Array.init (Array.length scores) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare scores.(b) scores.(a) in
+      if c <> 0 then c else compare a b)
+    idx;
+  idx
+
+let top_k scores k =
+  let ranked = rank scores in
+  let k = min k (Array.length ranked) in
+  Array.to_list (Array.sub ranked 0 k) |> List.map (fun v -> (v, scores.(v)))

@@ -1,0 +1,359 @@
+(* Community detection.
+
+   The paper partitions each induced subgraph with the Girvan–Newman
+   algorithm (Girvan & Newman 2002): repeatedly remove the edge of highest
+   betweenness until the number of connected components increases; one such
+   split is "one G-N iteration" (paper Algorithm 5.4 step 5).  G-N operates
+   on the undirected (symmetrized) view of the subgraph.
+
+   Exact G-N recomputes full edge betweenness after every removal, which is
+   O(n·m) per removal.  We keep that as the reference implementation and
+   additionally support source-sampled betweenness (`approx`) for the large
+   paper-scale subgraphs, plus asynchronous label propagation as a cheap
+   alternative partitioner (an extension the paper's "numerous algorithms
+   for graph partitioning" remark invites). *)
+
+type partition = {
+  labels : int array;  (* node -> community id, 0-based *)
+  communities : int list list;  (* sorted by decreasing size *)
+}
+
+let partition_of_labels labels k =
+  let buckets = Array.make k [] in
+  for v = Array.length labels - 1 downto 0 do
+    let c = labels.(v) in
+    buckets.(c) <- v :: buckets.(c)
+  done;
+  let communities =
+    Array.to_list buckets
+    |> List.filter (fun c -> c <> [])
+    |> List.sort (fun a b -> compare (List.length b) (List.length a))
+  in
+  (* Renumber labels to match the sorted community order. *)
+  let labels' = Array.make (Array.length labels) (-1) in
+  List.iteri (fun i comm -> List.iter (fun v -> labels'.(v) <- i) comm) communities;
+  { labels = labels'; communities }
+
+let of_components g =
+  let labels, k = Components.weakly_connected_labels g in
+  partition_of_labels labels k
+
+let community_count p = List.length p.communities
+
+(* Newman–Girvan modularity of a partition on an undirected (symmetrized)
+   digraph: Q = sum_c (e_c/m - (d_c/2m)^2) with m undirected edges. *)
+let modularity g p =
+  let m2 = float_of_int (Digraph.m g) in
+  (* symmetrized: m arcs = 2x undirected edges *)
+  if m2 = 0.0 then 0.0
+  else begin
+    let k = community_count p in
+    let internal = Array.make k 0.0 in
+    let deg_sum = Array.make k 0.0 in
+    Digraph.iter_edges
+      (fun u v -> if p.labels.(u) = p.labels.(v) then internal.(p.labels.(u)) <- internal.(p.labels.(u)) +. 1.0)
+      g;
+    Digraph.iter_nodes
+      (fun v -> deg_sum.(p.labels.(v)) <- deg_sum.(p.labels.(v)) +. float_of_int (Digraph.degree g v))
+      g;
+    let q = ref 0.0 in
+    for c = 0 to k - 1 do
+      q := !q +. (internal.(c) /. m2) -. ((deg_sum.(c) /. m2) ** 2.0)
+    done;
+    !q
+  end
+
+(* Edge betweenness with optional source sampling.  When [approx] is
+   [Some k] and the graph has more than k nodes, betweenness is estimated
+   from k evenly spaced BFS sources (deterministic, so results are
+   reproducible). *)
+let edge_betweenness_sampled ?approx g =
+  let n = Digraph.n g in
+  let sources =
+    match approx with
+    | Some k when n > k && k > 0 ->
+        let step = float_of_int n /. float_of_int k in
+        List.init k (fun i -> int_of_float (float_of_int i *. step))
+    | _ -> List.init n (fun i -> i)
+  in
+  let acc = Betweenness.create_acc g in
+  List.iter (fun s -> Betweenness.accumulate_from g acc s) sources;
+  acc.Betweenness.edge_bc
+
+let max_betweenness_edge ?approx g =
+  let tbl = edge_betweenness_sampled ?approx g in
+  let best = ref None in
+  Digraph.iter_edges
+    (fun u v ->
+      if u <= v || not (Digraph.mem_edge g v u) then begin
+        (* On a symmetrized graph consider each undirected edge once,
+           summing the two arc scores. *)
+        let c =
+          Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v))
+          +. Option.value ~default:0.0 (Hashtbl.find_opt tbl (v, u))
+        in
+        match !best with
+        | Some (_, _, c') when c' >= c -> ()
+        | _ -> best := Some (u, v, c)
+      end)
+    g;
+  !best
+
+type gn_step = {
+  partition : partition;
+  removed_edges : (int * int) list;  (* undirected pairs removed *)
+}
+
+(* One Girvan–Newman iteration on a copy of (the symmetrized view of) [g]:
+   remove top-betweenness edges until the weak component count increases.
+   [max_removals] bounds the work; if reached, the current partition is
+   returned as-is. *)
+let girvan_newman_step ?approx ?(max_removals = 2000) g =
+  let work = Digraph.to_undirected g in
+  let initial = Components.count_weakly_connected work in
+  let removed = ref [] in
+  let rec loop budget =
+    if budget = 0 then ()
+    else if Components.count_weakly_connected work > initial then ()
+    else
+      match max_betweenness_edge ?approx work with
+      | None -> ()
+      | Some (u, v, _) ->
+          Digraph.remove_edge work u v;
+          Digraph.remove_edge work v u;
+          removed := (u, v) :: !removed;
+          loop (budget - 1)
+  in
+  loop max_removals;
+  { partition = of_components work; removed_edges = List.rev !removed }
+
+(* Run G-N until at least [target] communities exist (or no edges remain).
+   Returns the partition at the first point the target is met. *)
+let girvan_newman ?approx ?(max_removals = 2000) ~target g =
+  let work = Digraph.to_undirected g in
+  let rec loop budget =
+    let p = of_components work in
+    if community_count p >= target || Digraph.m work = 0 || budget <= 0 then p
+    else
+      match max_betweenness_edge ?approx work with
+      | None -> p
+      | Some (u, v, _) ->
+          Digraph.remove_edge work u v;
+          Digraph.remove_edge work v u;
+          loop (budget - 1)
+  in
+  loop max_removals
+
+(* Asynchronous label propagation (Raghavan et al. 2007) on the symmetrized
+   view, deterministic given the seed.  Fast alternative partitioner. *)
+let label_propagation ?(seed = 7) ?(max_sweeps = 50) g =
+  let und = Digraph.to_undirected g in
+  let n = Digraph.n und in
+  let labels = Array.init n (fun i -> i) in
+  let rng = Rca_rng.Splitmix.create seed in
+  let order = Array.init n (fun i -> i) in
+  let changed = ref true in
+  let sweeps = ref 0 in
+  let counts = Hashtbl.create 16 in
+  while !changed && !sweeps < max_sweeps do
+    changed := false;
+    incr sweeps;
+    Rca_rng.Prng.shuffle rng order;
+    Array.iter
+      (fun v ->
+        let neighbors = Digraph.succ und v in
+        if neighbors <> [] then begin
+          Hashtbl.reset counts;
+          List.iter
+            (fun w ->
+              let c = labels.(w) in
+              Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+            neighbors;
+          let best_label, best_count =
+            Hashtbl.fold
+              (fun c k ((bc, bk) as acc) ->
+                if k > bk || (k = bk && c < bc) then (c, k) else acc)
+              counts (labels.(v), 0)
+          in
+          ignore best_count;
+          if best_label <> labels.(v) then begin
+            labels.(v) <- best_label;
+            changed := true
+          end
+        end)
+      order
+  done;
+  (* Compact label ids. *)
+  let remap = Hashtbl.create 16 in
+  Array.iteri
+    (fun v c ->
+      let c' =
+        match Hashtbl.find_opt remap c with
+        | Some c' -> c'
+        | None ->
+            let c' = Hashtbl.length remap in
+            Hashtbl.replace remap c c';
+            c'
+      in
+      labels.(v) <- c')
+    labels;
+  partition_of_labels labels (Hashtbl.length remap)
+
+(* Communities of at least [min_size] nodes — Algorithm 5.4 step 5 omits
+   communities smaller than 3 nodes. *)
+let significant_communities ?(min_size = 3) p =
+  List.filter (fun c -> List.length c >= min_size) p.communities
+
+(* --- Louvain ------------------------------------------------------------- *)
+
+(* Louvain modularity optimization (Blondel et al. 2008) on the
+   symmetrized view: greedy local moves, then contraction of communities
+   into weighted super-nodes, repeated until modularity stops improving.
+   A higher-quality (and usually faster) partitioner than Girvan–Newman;
+   offered as the alternative the paper's "numerous algorithms for graph
+   partitioning" remark invites. *)
+
+type wgraph = {
+  wn : int;
+  adj : (int * float) list array;  (* neighbor, weight; both directions *)
+  self : float array;  (* self-loop weight *)
+  total_w : float;  (* sum of all edge weights (undirected, self incl.) *)
+}
+
+let wgraph_of_digraph g =
+  let und = Digraph.to_undirected g in
+  let n = Digraph.n und in
+  let adj = Array.make n [] in
+  let self = Array.make n 0.0 in
+  let total = ref 0.0 in
+  Digraph.iter_edges
+    (fun u v ->
+      if u = v then begin
+        self.(u) <- self.(u) +. 1.0;
+        total := !total +. 1.0
+      end
+      else if u < v then begin
+        adj.(u) <- (v, 1.0) :: adj.(u);
+        adj.(v) <- (u, 1.0) :: adj.(v);
+        total := !total +. 1.0
+      end)
+    und;
+  { wn = n; adj; self; total_w = !total }
+
+(* One pass of greedy local moves; returns (labels, moved?). *)
+let louvain_local_pass wg =
+  let n = wg.wn in
+  let labels = Array.init n (fun i -> i) in
+  (* community degree totals *)
+  let deg =
+    Array.init n (fun v ->
+        (2.0 *. wg.self.(v)) +. List.fold_left (fun a (_, w) -> a +. w) 0.0 wg.adj.(v))
+  in
+  let comm_tot = Array.copy deg in
+  let m2 = 2.0 *. wg.total_w in
+  if m2 = 0.0 then (labels, false)
+  else begin
+    let moved = ref false in
+    let improved = ref true in
+    let neigh_w = Hashtbl.create 16 in
+    let sweeps = ref 0 in
+    while !improved && !sweeps < 20 do
+      improved := false;
+      incr sweeps;
+      for v = 0 to n - 1 do
+        let cv = labels.(v) in
+        Hashtbl.reset neigh_w;
+        List.iter
+          (fun (u, w) ->
+            let c = labels.(u) in
+            Hashtbl.replace neigh_w c
+              (w +. Option.value ~default:0.0 (Hashtbl.find_opt neigh_w c)))
+          wg.adj.(v);
+        (* remove v from its community *)
+        comm_tot.(cv) <- comm_tot.(cv) -. deg.(v);
+        let w_to_cv = Option.value ~default:0.0 (Hashtbl.find_opt neigh_w cv) in
+        let base_gain = w_to_cv -. (comm_tot.(cv) *. deg.(v) /. m2) in
+        let best_c = ref cv and best_gain = ref base_gain in
+        Hashtbl.iter
+          (fun c w_to_c ->
+            if c <> cv then begin
+              let gain = w_to_c -. (comm_tot.(c) *. deg.(v) /. m2) in
+              if gain > !best_gain +. 1e-12 then begin
+                best_gain := gain;
+                best_c := c
+              end
+            end)
+          neigh_w;
+        labels.(v) <- !best_c;
+        comm_tot.(!best_c) <- comm_tot.(!best_c) +. deg.(v);
+        if !best_c <> cv then begin
+          moved := true;
+          improved := true
+        end
+      done
+    done;
+    (labels, !moved)
+  end
+
+(* Contract communities into weighted super-nodes. *)
+let contract wg labels k =
+  let adj_tbl = Hashtbl.create (4 * k) in
+  let self = Array.make k 0.0 in
+  let add_pair a b w =
+    if a = b then self.(a) <- self.(a) +. w
+    else begin
+      let key = if a < b then (a, b) else (b, a) in
+      Hashtbl.replace adj_tbl key
+        (w +. Option.value ~default:0.0 (Hashtbl.find_opt adj_tbl key))
+    end
+  in
+  Array.iteri (fun v w -> if w > 0.0 then self.(labels.(v)) <- self.(labels.(v)) +. w) wg.self;
+  Array.iteri
+    (fun v nbrs ->
+      List.iter (fun (u, w) -> if v < u then add_pair labels.(v) labels.(u) w) nbrs)
+    wg.adj;
+  let adj = Array.make k [] in
+  Hashtbl.iter
+    (fun (a, b) w ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    adj_tbl;
+  { wn = k; adj; self; total_w = wg.total_w }
+
+let compact labels =
+  let remap = Hashtbl.create 16 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt remap c with
+      | Some c' -> c'
+      | None ->
+          let c' = Hashtbl.length remap in
+          Hashtbl.replace remap c c';
+          c')
+    labels
+  |> fun l -> (l, Hashtbl.length remap)
+
+let louvain ?(max_levels = 10) g =
+  let n = Digraph.n g in
+  if n = 0 then partition_of_labels [||] 0
+  else begin
+    let node_label = Array.init n (fun i -> i) in
+    let wg = ref (wgraph_of_digraph g) in
+    let continue_ = ref true in
+    let levels = ref 0 in
+    while !continue_ && !levels < max_levels do
+      incr levels;
+      let labels, moved = louvain_local_pass !wg in
+      if not moved then continue_ := false
+      else begin
+        let labels, k = compact labels in
+        (* fold this level into the flat node labels *)
+        for v = 0 to n - 1 do
+          node_label.(v) <- labels.(node_label.(v))
+        done;
+        wg := contract !wg labels k
+      end
+    done;
+    let labels, k = compact node_label in
+    partition_of_labels labels k
+  end

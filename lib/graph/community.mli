@@ -1,0 +1,54 @@
+(** Community detection (paper Section 5.2).
+
+    Girvan–Newman operates on the undirected (symmetrized) view of the
+    subgraph: repeatedly remove the highest-edge-betweenness edge until
+    the component count increases — "one G-N iteration" in Algorithm 5.4
+    step 5. *)
+
+type partition = {
+  labels : int array;  (** node -> community id (0 = largest) *)
+  communities : int list list;  (** sorted by decreasing size *)
+}
+
+val partition_of_labels : int array -> int -> partition
+val of_components : Digraph.t -> partition
+(** Partition into weakly connected components. *)
+
+val community_count : partition -> int
+
+val modularity : Digraph.t -> partition -> float
+(** Newman–Girvan modularity [Q] on a symmetrized digraph. *)
+
+val edge_betweenness_sampled :
+  ?approx:int -> Digraph.t -> (int * int, float) Hashtbl.t
+(** Edge betweenness, exact or estimated from [approx] evenly spaced BFS
+    sources (deterministic). *)
+
+val max_betweenness_edge : ?approx:int -> Digraph.t -> (int * int * float) option
+(** Highest-betweenness undirected edge of a symmetrized graph. *)
+
+type gn_step = {
+  partition : partition;
+  removed_edges : (int * int) list;
+}
+
+val girvan_newman_step : ?approx:int -> ?max_removals:int -> Digraph.t -> gn_step
+(** One Girvan–Newman iteration on a symmetrized copy: remove
+    top-betweenness edges until the weak component count increases.
+    [max_removals] bounds the work. *)
+
+val girvan_newman : ?approx:int -> ?max_removals:int -> target:int -> Digraph.t -> partition
+(** Iterate until at least [target] communities exist (or edges run out). *)
+
+val label_propagation : ?seed:int -> ?max_sweeps:int -> Digraph.t -> partition
+(** Asynchronous label propagation (Raghavan et al. 2007): a fast
+    alternative partitioner, deterministic given [seed]. *)
+
+val louvain : ?max_levels:int -> Digraph.t -> partition
+(** Louvain modularity optimization (Blondel et al. 2008) on the
+    symmetrized view: greedy local moves plus community contraction,
+    repeated until modularity stops improving.  Deterministic. *)
+
+val significant_communities : ?min_size:int -> partition -> int list list
+(** Communities of at least [min_size] (default 3) nodes — Algorithm 5.4
+    omits smaller ones. *)

@@ -1,0 +1,61 @@
+(* Connected components.
+
+   The paper works with weakly connected components: the directed subgraph
+   is symmetrized before community detection, and residual clusters smaller
+   than a threshold are dropped from the plots. *)
+
+(* Labels nodes with component ids 0..k-1 following edges in both
+   directions; returns (labels, component count). *)
+let weakly_connected_labels g =
+  let n = Digraph.n g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if label.(s) = -1 then begin
+      let c = !next in
+      incr next;
+      label.(s) <- c;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let visit v =
+          if label.(v) = -1 then begin
+            label.(v) <- c;
+            Queue.add v q
+          end
+        in
+        List.iter visit (Digraph.succ g u);
+        List.iter visit (Digraph.pred g u)
+      done
+    end
+  done;
+  (label, !next)
+
+let weakly_connected_components g =
+  let label, k = weakly_connected_labels g in
+  let comps = Array.make k [] in
+  for v = Digraph.n g - 1 downto 0 do
+    comps.(label.(v)) <- v :: comps.(label.(v))
+  done;
+  Array.to_list comps
+
+let count_weakly_connected g = snd (weakly_connected_labels g)
+
+let largest_weakly_connected g =
+  match weakly_connected_components g with
+  | [] -> []
+  | comps ->
+      List.fold_left
+        (fun best c -> if List.length c > List.length best then c else best)
+        [] comps
+
+(* Drop components below [min_size] — the paper removes residual clusters of
+   fewer than 3 or 4 nodes before plotting and community analysis. *)
+let filter_small_components g ~min_size =
+  let keep =
+    List.concat_map
+      (fun c -> if List.length c >= min_size then c else [])
+      (weakly_connected_components g)
+  in
+  Digraph.induced_subgraph g (List.sort compare keep)

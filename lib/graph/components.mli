@@ -1,0 +1,16 @@
+(** Weakly connected components: the paper symmetrizes subgraphs before
+    community detection and drops residual clusters below a size
+    threshold. *)
+
+val weakly_connected_labels : Digraph.t -> int array * int
+(** Per-node component labels and the component count. *)
+
+val weakly_connected_components : Digraph.t -> int list list
+
+val count_weakly_connected : Digraph.t -> int
+
+val largest_weakly_connected : Digraph.t -> int list
+
+val filter_small_components : Digraph.t -> min_size:int -> Digraph.sub
+(** Induced subgraph keeping only components of at least [min_size]
+    nodes. *)

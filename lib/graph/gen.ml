@@ -1,0 +1,119 @@
+(* Deterministic random-graph generators, used by the property tests and by
+   benchmarks that need graphs of controlled shape (scale-free hubs,
+   bridged clusters, …). *)
+
+let gnm ~seed ~n ~m =
+  let rng = Rca_rng.Splitmix.create seed in
+  let g = Digraph.create ~size_hint:n () in
+  if n > 0 then Digraph.ensure_node g (n - 1);
+  let attempts = ref 0 in
+  while Digraph.m g < m && !attempts < 50 * m do
+    incr attempts;
+    let u = Rca_rng.Prng.int rng n and v = Rca_rng.Prng.int rng n in
+    if u <> v then Digraph.add_edge g u v
+  done;
+  g
+
+(* Barabási–Albert preferential attachment (directed: new node points to
+   [k] existing targets chosen proportionally to degree).  Produces the
+   power-law hubs of Figure 4. *)
+let barabasi_albert ~seed ~n ~k =
+  if k < 1 then invalid_arg "Gen.barabasi_albert: k must be >= 1";
+  let rng = Rca_rng.Splitmix.create seed in
+  let g = Digraph.create ~size_hint:n () in
+  let n0 = max (k + 1) 2 in
+  if n > 0 then Digraph.ensure_node g (min n n0 - 1);
+  (* seed clique-ish start *)
+  for v = 1 to min n n0 - 1 do
+    Digraph.add_edge g v (v - 1)
+  done;
+  (* endpoint multiset: each edge contributes both endpoints, giving
+     degree-proportional sampling *)
+  let endpoints = ref [] in
+  Digraph.iter_edges
+    (fun u v -> endpoints := u :: v :: !endpoints)
+    g;
+  let endpoints = ref (Array.of_list !endpoints) in
+  let count = ref (Array.length !endpoints) in
+  let push v =
+    if !count >= Array.length !endpoints then begin
+      let bigger = Array.make (max 16 (2 * Array.length !endpoints)) 0 in
+      Array.blit !endpoints 0 bigger 0 !count;
+      endpoints := bigger
+    end;
+    !endpoints.(!count) <- v;
+    incr count
+  in
+  for v = n0 to n - 1 do
+    Digraph.ensure_node g v;
+    let targets = Hashtbl.create k in
+    let guard = ref 0 in
+    while Hashtbl.length targets < k && !guard < 100 * k do
+      incr guard;
+      let t = !endpoints.(Rca_rng.Prng.int rng !count) in
+      if t <> v then Hashtbl.replace targets t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        Digraph.add_edge g v t;
+        push v;
+        push t)
+      targets
+  done;
+  g
+
+let ring ~n =
+  let g = Digraph.create ~size_hint:n () in
+  if n > 0 then Digraph.ensure_node g (n - 1);
+  for v = 0 to n - 1 do
+    if n > 1 then Digraph.add_edge g v ((v + 1) mod n)
+  done;
+  g
+
+let star ~n =
+  let g = Digraph.create ~size_hint:n () in
+  if n > 0 then Digraph.ensure_node g (n - 1);
+  for v = 1 to n - 1 do
+    Digraph.add_edge g v 0
+  done;
+  g
+
+let complete ~n =
+  let g = Digraph.create ~size_hint:n () in
+  if n > 0 then Digraph.ensure_node g (n - 1);
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then Digraph.add_edge g u v
+    done
+  done;
+  g
+
+(* Two dense clusters joined by [bridges] edges: the canonical test input
+   for Girvan–Newman (it must cut the bridges first). *)
+let two_clusters ~seed ~size ~p_intra ~bridges =
+  let rng = Rca_rng.Splitmix.create seed in
+  let n = 2 * size in
+  let g = Digraph.create ~size_hint:n () in
+  if n > 0 then Digraph.ensure_node g (n - 1);
+  let maybe_edge u v =
+    if u <> v && Rca_rng.Prng.float01 rng < p_intra then Digraph.add_edge g u v
+  in
+  for u = 0 to size - 1 do
+    for v = 0 to size - 1 do
+      maybe_edge u v
+    done
+  done;
+  for u = size to n - 1 do
+    for v = size to n - 1 do
+      maybe_edge u v
+    done
+  done;
+  (* Keep each cluster connected regardless of p_intra. *)
+  for v = 1 to size - 1 do
+    Digraph.add_edge g (v - 1) v;
+    Digraph.add_edge g (size + v - 1) (size + v)
+  done;
+  for b = 0 to bridges - 1 do
+    Digraph.add_edge g (b mod size) (size + (b mod size))
+  done;
+  g

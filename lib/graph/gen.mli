@@ -1,0 +1,18 @@
+(** Deterministic random-graph generators for tests and benchmarks. *)
+
+val gnm : seed:int -> n:int -> m:int -> Digraph.t
+(** Erdős–Rényi G(n,m): [m] distinct directed non-loop edges. *)
+
+val barabasi_albert : seed:int -> n:int -> k:int -> Digraph.t
+(** Preferential attachment: each new node links to [k] degree-weighted
+    targets; produces power-law hubs. *)
+
+val ring : n:int -> Digraph.t
+val star : n:int -> Digraph.t
+(** All spokes point at hub 0. *)
+
+val complete : n:int -> Digraph.t
+
+val two_clusters : seed:int -> size:int -> p_intra:float -> bridges:int -> Digraph.t
+(** Two dense clusters joined by [bridges] edges — the canonical
+    Girvan–Newman test input (the bridges must be cut first). *)

@@ -1,0 +1,31 @@
+(** Graph statistics behind the paper's Figures 4, 9 and 10: degree
+    distributions and power-law exponent estimates. *)
+
+type degree_kind = Total | In_deg | Out_deg
+
+val degrees : ?kind:degree_kind -> Digraph.t -> int array
+
+val degree_histogram : ?kind:degree_kind -> Digraph.t -> (int * int) list
+(** (degree, count) for every occurring degree, ascending. *)
+
+val degree_ccdf : ?kind:degree_kind -> Digraph.t -> (int * float) list
+(** Complementary cumulative distribution P(D >= d). *)
+
+val power_law_alpha : ?kind:degree_kind -> ?xmin:int -> Digraph.t -> float option
+(** Discrete maximum-likelihood power-law exponent (Clauset–Shalizi–Newman
+    2009 approximation) over degrees >= [xmin]. *)
+
+type summary = {
+  nodes : int;
+  edges : int;
+  max_degree : int;
+  mean_degree : float;
+  components : int;
+  alpha : float option;
+}
+
+val summarize : Digraph.t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val rank_series : float array -> (int * float) list
+(** (rank, |score|) sorted descending — the series of Figure 11. *)

@@ -1,0 +1,55 @@
+(* Quotient graphs (graph minors by an equivalence relation).
+
+   Section 6.5 of the paper collapses the CESM variable digraph into a
+   digraph of Fortran modules: nodes in the same module become one node,
+   intra-class edges are dropped, inter-class edges are preserved (and
+   deduplicated).  Module eigenvector centrality on the quotient then
+   steers the selective AVX2 disablement of Table 1. *)
+
+type t = {
+  graph : Digraph.t;
+  class_of_node : int array;  (* parent node -> class id *)
+  class_members : int list array;  (* class id -> parent nodes *)
+  class_sizes : int array;
+}
+
+(* [make g classify] builds the quotient of [g] under the equivalence
+   "classify v = classify w".  Class ids are assigned in first-seen node
+   order, so they are deterministic. *)
+let make g classify =
+  let n = Digraph.n g in
+  let ids = Hashtbl.create 64 in
+  let class_of_node = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let key = classify v in
+    let c =
+      match Hashtbl.find_opt ids key with
+      | Some c -> c
+      | None ->
+          let c = Hashtbl.length ids in
+          Hashtbl.replace ids key c;
+          c
+    in
+    class_of_node.(v) <- c
+  done;
+  let k = Hashtbl.length ids in
+  let q = Digraph.create ~size_hint:(max k 1) () in
+  if k > 0 then Digraph.ensure_node q (k - 1);
+  Digraph.iter_edges
+    (fun u v ->
+      let cu = class_of_node.(u) and cv = class_of_node.(v) in
+      if cu <> cv then Digraph.add_edge q cu cv)
+    g;
+  let class_members = Array.make k [] in
+  for v = n - 1 downto 0 do
+    class_members.(class_of_node.(v)) <- v :: class_members.(class_of_node.(v))
+  done;
+  let class_sizes = Array.map List.length class_members in
+  { graph = q; class_of_node; class_members; class_sizes }
+
+(* Class names in class-id order, recovered by re-running the classifier on
+   one representative per class. *)
+let class_names t classify =
+  Array.map
+    (fun members -> match members with v :: _ -> classify v | [] -> "")
+    t.class_members

@@ -1,0 +1,18 @@
+(** Quotient graphs — graph minors under an equivalence relation (paper
+    Section 6.5: collapsing the variable digraph into a digraph of Fortran
+    modules). *)
+
+type t = {
+  graph : Digraph.t;  (** one node per equivalence class *)
+  class_of_node : int array;  (** parent node -> class id *)
+  class_members : int list array;
+  class_sizes : int array;
+}
+
+val make : Digraph.t -> (int -> string) -> t
+(** [make g classify] contracts nodes with equal [classify] values.
+    Intra-class edges are dropped (no self loops), inter-class edges are
+    deduplicated.  Class ids follow first-seen node order. *)
+
+val class_names : t -> (int -> string) -> string array
+(** Class names in class-id order. *)

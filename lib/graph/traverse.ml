@@ -1,0 +1,157 @@
+(* Breadth-first traversals and the reachability primitives behind the
+   paper's hybrid slicing (Section 5.1).
+
+   The paper computes "all BFS shortest paths terminating on a target
+   variable" and takes the union of their node sets.  For a fixed target t,
+   every node from which t is reachable lies on the shortest path from
+   itself to t, so that union is exactly the ancestor set of t; we expose
+   both the ancestor formulation (used for slicing) and explicit
+   shortest-path-DAG extraction (used to report individual paths). *)
+
+let no_dist = -1
+
+(* Distances from a set of sources following successor edges. *)
+let bfs_dist g sources =
+  let n = Digraph.n g in
+  let dist = Array.make n no_dist in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Traverse.bfs_dist: bad source";
+      if dist.(s) = no_dist then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) = no_dist then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (Digraph.succ g u)
+  done;
+  dist
+
+(* Distances *to* a set of targets: BFS along predecessor edges. *)
+let bfs_dist_rev g targets =
+  let n = Digraph.n g in
+  let dist = Array.make n no_dist in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Traverse.bfs_dist_rev: bad target";
+      if dist.(s) = no_dist then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    targets;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) = no_dist then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (Digraph.pred g u)
+  done;
+  dist
+
+let mark_to_list mark =
+  let acc = ref [] in
+  for v = Array.length mark - 1 downto 0 do
+    if mark.(v) <> no_dist then acc := v :: !acc
+  done;
+  !acc
+
+let descendants g sources = mark_to_list (bfs_dist g sources)
+
+(* Ancestors of the targets, targets included: the node set of the union of
+   all shortest directed paths terminating on a target. *)
+let ancestors g targets = mark_to_list (bfs_dist_rev g targets)
+
+let reachable g ~from ~target =
+  let dist = bfs_dist g [ from ] in
+  dist.(target) <> no_dist
+
+(* Does any directed path lead from a source to any target?  This is the
+   simulated-sampling detection test of Section 6: an instrumented node
+   detects a difference iff it is reachable from a bug location. *)
+let any_path g ~sources ~targets =
+  let dist = bfs_dist g sources in
+  List.exists (fun t -> dist.(t) <> no_dist) targets
+
+(* One shortest path from [src] to [dst], as a node list, if any. *)
+let shortest_path g ~src ~dst =
+  let n = Digraph.n g in
+  let parent = Array.make n no_dist in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src q;
+  let rec drain () =
+    if Queue.is_empty q then None
+    else
+      let u = Queue.pop q in
+      if u = dst then Some u
+      else begin
+        List.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              parent.(v) <- u;
+              Queue.add v q
+            end)
+          (Digraph.succ g u);
+        drain ()
+      end
+  in
+  match drain () with
+  | None -> None
+  | Some _ ->
+      let rec build v acc = if v = src then v :: acc else build parent.(v) (v :: acc) in
+      Some (build dst [])
+
+(* Nodes lying on at least one shortest path from any source to any target:
+   v qualifies iff d(sources, v) + d(v, targets) = d(sources, targets) for
+   some target distance.  Used to extract the purple "path segments" the
+   paper draws between bug locations and sampled nodes. *)
+let shortest_path_dag_nodes g ~sources ~targets =
+  let dfwd = bfs_dist g sources in
+  let drev = bfs_dist_rev g targets in
+  let best =
+    List.fold_left
+      (fun acc t -> if dfwd.(t) = no_dist then acc else min acc dfwd.(t))
+      max_int targets
+  in
+  if best = max_int then []
+  else begin
+    let acc = ref [] in
+    for v = Digraph.n g - 1 downto 0 do
+      if dfwd.(v) <> no_dist && drev.(v) <> no_dist && dfwd.(v) + drev.(v) = best then
+        acc := v :: !acc
+    done;
+    !acc
+  end
+
+(* Topological order (Kahn); [None] when the graph has a directed cycle. *)
+let topological_order g =
+  let n = Digraph.n g in
+  let indeg = Array.init n (fun v -> Digraph.in_degree g v) in
+  let q = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v q) indeg;
+  let order = ref [] and count = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr count;
+    order := u :: !order;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      (Digraph.succ g u)
+  done;
+  if !count = n then Some (List.rev !order) else None

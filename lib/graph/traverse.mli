@@ -1,0 +1,41 @@
+(** Breadth-first traversals and the reachability primitives behind the
+    paper's hybrid slicing (Section 5.1).
+
+    For a fixed target, every node from which the target is reachable lies
+    on the shortest path from itself to the target, so the paper's "union
+    of all BFS shortest paths terminating on the target" equals the
+    target's ancestor set. *)
+
+val no_dist : int
+(** Marker for unreachable nodes in distance arrays ([-1]). *)
+
+val bfs_dist : Digraph.t -> int list -> int array
+(** [bfs_dist g sources] is the array of BFS hop distances from the
+    nearest source, following successor edges; [no_dist] if unreachable. *)
+
+val bfs_dist_rev : Digraph.t -> int list -> int array
+(** Distances {e to} the given targets, following predecessor edges. *)
+
+val descendants : Digraph.t -> int list -> int list
+(** Nodes reachable from any source (sources included), ascending. *)
+
+val ancestors : Digraph.t -> int list -> int list
+(** Nodes from which any target is reachable (targets included) — the
+    static backward slice, ascending. *)
+
+val reachable : Digraph.t -> from:int -> target:int -> bool
+
+val any_path : Digraph.t -> sources:int list -> targets:int list -> bool
+(** The simulated-sampling test of paper Section 6: does any directed path
+    lead from a bug location to an instrumented node? *)
+
+val shortest_path : Digraph.t -> src:int -> dst:int -> int list option
+(** One shortest path as a node list, [None] if disconnected. *)
+
+val shortest_path_dag_nodes : Digraph.t -> sources:int list -> targets:int list -> int list
+(** Nodes lying on at least one {e minimum-length} source-to-target path —
+    the "path segments from the bugs to the sampled nodes" the paper
+    highlights. *)
+
+val topological_order : Digraph.t -> int list option
+(** Kahn topological order; [None] when the graph has a directed cycle. *)

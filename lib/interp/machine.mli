@@ -1,0 +1,100 @@
+(** AST interpreter for the Fortran subset — the stand-in for "running
+    CESM on the supercomputer".
+
+    Machine-level switches reproduce the paper's experimental axes:
+    [prng] (the generator behind [random_number]; swapping KISS for
+    MT19937 is the RAND-MT experiment), [fma_for] (per-module fused
+    multiply-add contraction; the AVX2 experiments), and [hooks]
+    (statement / assignment / call observers behind coverage recording,
+    runtime sampling and kernel capture). *)
+
+exception Runtime_error of string
+
+type arr = { dims : int array; data : float array }
+
+type value =
+  | Vreal of float
+  | Vint of int
+  | Vlog of bool
+  | Vstr of string
+  | Varr of arr
+  | Vderived of (string, value ref) Hashtbl.t
+
+val copy_value : value -> value
+(** Deep copy (arrays and derived components included). *)
+
+val as_float : value -> float
+(** Numeric coercion; raises {!Runtime_error} for arrays and strings. *)
+
+val as_int : value -> int
+val as_bool : value -> bool
+val as_arr : value -> arr
+
+val arr_norm : arr -> float
+(** L2 norm — the scalar whole-array events report to the sampling hook. *)
+
+type callable = { c_module : string; c_sub : Rca_fortran.Ast.subprogram }
+
+type module_rt = {
+  unit_ : Rca_fortran.Ast.module_unit;
+  vars : (string, value ref) Hashtbl.t;  (** visible cells: own + imported *)
+  own_vars : (string, unit) Hashtbl.t;  (** names declared in this module *)
+  visible_subs : (string, callable list) Hashtbl.t;
+  visible_types : (string, Rca_fortran.Ast.derived_type_def) Hashtbl.t;
+}
+
+type hooks = {
+  mutable on_stmt : (string -> string -> int -> unit) option;
+      (** fired before each statement with (module, subprogram, line) *)
+  mutable on_assign :
+    (module_:string -> sub:string -> line:int -> var:string -> canonical:string ->
+     float -> unit)
+    option;
+      (** fired after each assignment — and after each formal-argument
+          binding — with the written value (elements and scalars) or the
+          array L2 norm *)
+  mutable on_call : (string -> string -> (string, value ref) Hashtbl.t -> unit) option;
+      (** subprogram entry, formals bound, locals not yet allocated *)
+  mutable on_return : (string -> string -> (string, value ref) Hashtbl.t -> unit) option;
+      (** subprogram exit with the full locals table *)
+  mutable on_outfld : (string -> float -> unit) option;
+}
+
+type t = {
+  program : Rca_fortran.Ast.program;
+  modules : (string, module_rt) Hashtbl.t;
+  mutable prng : Rca_rng.Prng.t;
+  mutable fma_for : string -> bool;
+  hooks : hooks;
+  history : (string, float) Hashtbl.t;  (** outfld label -> last value *)
+  print_log : Buffer.t;
+  mutable steps : int;
+  mutable max_steps : int;
+}
+
+val module_order : Rca_fortran.Ast.program -> Rca_fortran.Ast.module_unit list
+(** Topological order of modules by use-dependency. *)
+
+val create : ?prng:Rca_rng.Prng.t -> ?max_steps:int -> Rca_fortran.Ast.program -> t
+(** Elaborate the program: resolve imports, build interface tables,
+    initialize module variables (parameters evaluated, arrays zeroed,
+    derived types instantiated). *)
+
+val find_callable : t -> module_:string -> sub:string -> callable
+
+val invoke : t -> module_:string -> sub:string -> args:value list -> value
+(** Call a subprogram with interpreter-level values (scalars by value; use
+    module variables to pass state).  Functions return their result;
+    subroutines return [Vlog false]. *)
+
+val get_module_var : t -> module_:string -> name:string -> value
+val set_module_var : t -> module_:string -> name:string -> value -> unit
+
+val history : t -> (string * float) list
+val history_value : t -> string -> float option
+
+val printed : t -> string
+(** Everything written by [print *] statements. *)
+
+val set_fma : t -> enabled:bool -> disabled:string list -> unit
+(** Enable FMA contraction everywhere except [disabled] modules. *)

@@ -1,0 +1,41 @@
+(* KISS (Keep It Simple Stupid) generator, Marsaglia 1999 — the same family
+   as CESM's default `kissvec` random number generator that the RAND-MT
+   experiment replaces.  All state words are 32 bits. *)
+
+let mask = 0xFFFFFFFF
+
+type state = {
+  mutable x : int; (* congruential *)
+  mutable y : int; (* shift register *)
+  mutable z : int; (* multiply-with-carry *)
+  mutable w : int; (* multiply-with-carry *)
+}
+
+let seed_state seed =
+  (* Derive four decorrelated words from the seed with splitmix. *)
+  let step = Splitmix.stepper (seed lxor 0x5DEECE66D) in
+  let word () =
+    let v = Int64.to_int (Int64.logand (step ()) 0xFFFFFFFFL) in
+    if v = 0 then 0x9068FFFF else v
+  in
+  { x = word (); y = word (); z = word (); w = word () }
+
+let next st =
+  (* Linear congruential component. *)
+  st.x <- ((69069 * st.x) + 1327217885) land mask;
+  (* 3-shift shift-register component. *)
+  st.y <- st.y lxor (st.y lsl 13) land mask;
+  st.y <- (st.y lxor (st.y lsr 17)) land mask;
+  st.y <- (st.y lxor (st.y lsl 5)) land mask;
+  (* Two multiply-with-carry components. *)
+  st.z <- ((18000 * (st.z land 0xFFFF)) + (st.z lsr 16)) land mask;
+  st.w <- ((30903 * (st.w land 0xFFFF)) + (st.w lsr 16)) land mask;
+  (st.x + (st.y lsl 13) + (st.z lsl 16) + st.w) land mask
+
+let create seed =
+  let st = ref (seed_state seed) in
+  {
+    Prng.name = "kiss";
+    next_u32 = (fun () -> next !st);
+    reseed = (fun seed -> st := seed_state seed);
+  }

@@ -1,0 +1,6 @@
+(** Marsaglia's 32-bit KISS generator — the same family as CESM's default
+    [kissvec] generator that the paper's RAND-MT experiment replaces. *)
+
+val create : int -> Prng.t
+(** [create seed] is a KISS stream whose four state words are derived from
+    [seed] via SplitMix64. *)

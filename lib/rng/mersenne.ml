@@ -1,0 +1,46 @@
+(* MT19937 Mersenne Twister (Matsumoto & Nishimura 1998), 32-bit variant,
+   implemented from the reference recurrence.  This is the generator the
+   RAND-MT experiment substitutes for CESM's default PRNG. *)
+
+let n = 624
+let m = 397
+let matrix_a = 0x9908B0DF
+let upper_mask = 0x80000000
+let lower_mask = 0x7FFFFFFF
+let mask32 = 0xFFFFFFFF
+
+type state = { mt : int array; mutable mti : int }
+
+let init_state seed =
+  let mt = Array.make n 0 in
+  mt.(0) <- seed land mask32;
+  for i = 1 to n - 1 do
+    mt.(i) <- (1812433253 * (mt.(i - 1) lxor (mt.(i - 1) lsr 30)) + i) land mask32
+  done;
+  { mt; mti = n }
+
+let generate st =
+  let mt = st.mt in
+  for i = 0 to n - 1 do
+    let y = (mt.(i) land upper_mask) lor (mt.((i + 1) mod n) land lower_mask) in
+    let mag = if y land 1 = 0 then 0 else matrix_a in
+    mt.(i) <- mt.((i + m) mod n) lxor (y lsr 1) lxor mag
+  done;
+  st.mti <- 0
+
+let next st =
+  if st.mti >= n then generate st;
+  let y = st.mt.(st.mti) in
+  st.mti <- st.mti + 1;
+  let y = y lxor (y lsr 11) in
+  let y = y lxor ((y lsl 7) land 0x9D2C5680) in
+  let y = y lxor ((y lsl 15) land 0xEFC60000) in
+  (y lxor (y lsr 18)) land mask32
+
+let create seed =
+  let st = ref (init_state seed) in
+  {
+    Prng.name = "mt19937";
+    next_u32 = (fun () -> next !st);
+    reseed = (fun seed -> st := init_state seed);
+  }

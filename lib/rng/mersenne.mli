@@ -1,0 +1,6 @@
+(** MT19937 Mersenne Twister (Matsumoto & Nishimura 1998), 32-bit variant,
+    implemented from the reference recurrence. *)
+
+val create : int -> Prng.t
+(** [create seed] is an MT19937 stream initialized with the reference
+    Knuth-style seeding loop. *)

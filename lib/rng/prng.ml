@@ -1,0 +1,74 @@
+(* Common interface for the pseudorandom number generators used by the
+   synthetic model and the graph generators.  The RAND-MT experiment of the
+   paper swaps one implementation for another at runtime, so generators are
+   first-class values rather than functors. *)
+
+type t = {
+  name : string;
+  (* Next raw 32-bit draw, uniform on [0, 2^32). *)
+  next_u32 : unit -> int;
+  (* Reset to a fresh state derived from the given seed. *)
+  reseed : int -> unit;
+}
+
+let name t = t.name
+
+let next_u32 t = t.next_u32 ()
+
+let reseed t seed = t.reseed seed
+
+(* Uniform float on [0,1).  53-bit resolution assembled from two 32-bit
+   draws, so that distinct generators with distinct streams produce visibly
+   distinct floats. *)
+let float01 t =
+  let hi = t.next_u32 () land 0x3FFFFFF in
+  (* 26 bits *)
+  let lo = t.next_u32 () land 0x7FFFFFF in
+  (* 27 bits *)
+  (float_of_int hi *. 134217728.0 +. float_of_int lo) *. (1.0 /. 9007199254740992.0)
+
+(* Uniform int on [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then t.next_u32 () land (bound - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let limit = 0x100000000 - (0x100000000 mod bound) in
+    let rec draw () =
+      let x = t.next_u32 () in
+      if x < limit then x mod bound else draw ()
+    in
+    draw ()
+  end
+
+let float_range t lo hi = lo +. ((hi -. lo) *. float01 t)
+
+(* Standard normal via Box-Muller; no state cached so results are
+   reproducible regardless of call interleaving. *)
+let gaussian t =
+  let rec nonzero () =
+    let u = float01 t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float01 t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* k distinct values sampled uniformly from [0, n). *)
+let sample t ~n ~k =
+  if k > n then invalid_arg "Prng.sample: k > n";
+  let idx = Array.init n (fun i -> i) in
+  shuffle t idx;
+  Array.sub idx 0 k
+
+let choose t lst =
+  match lst with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth lst (int t (List.length lst))

@@ -1,0 +1,40 @@
+(** First-class pseudorandom number generators.
+
+    The RAND-MT experiment of the paper swaps the model's default generator
+    for the Mersenne Twister at runtime, so generators are ordinary values
+    carrying their own state rather than functor instantiations. *)
+
+type t = {
+  name : string;  (** identifier, e.g. ["kiss"] or ["mt19937"] *)
+  next_u32 : unit -> int;  (** next raw draw, uniform on [\[0, 2{^32})] *)
+  reseed : int -> unit;  (** reset the stream from a fresh seed *)
+}
+
+val name : t -> string
+
+val next_u32 : t -> int
+(** [next_u32 t] is the next raw 32-bit draw. *)
+
+val reseed : t -> int -> unit
+
+val float01 : t -> float
+(** Uniform on [\[0,1)] with 53-bit resolution (consumes two draws). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [\[0, bound)]; rejection-sampled, so free of
+    modulo bias.  Raises [Invalid_argument] when [bound <= 0]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform on [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller, uncached). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> n:int -> k:int -> int array
+(** [sample t ~n ~k] draws [k] distinct indices uniformly from [\[0, n)]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)

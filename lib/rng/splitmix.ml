@@ -1,0 +1,26 @@
+(* SplitMix64 (Steele, Lea, Flood 2014).  Used as the repository's default
+   deterministic stream and to seed the other generators. *)
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+type state = { mutable s : int64 }
+
+let next_int64 st =
+  st.s <- Int64.add st.s gamma;
+  mix64 st.s
+
+let create seed =
+  let st = { s = Int64.of_int seed } in
+  let next_u32 () = Int64.to_int (Int64.logand (next_int64 st) 0xFFFFFFFFL) in
+  let reseed seed = st.s <- Int64.of_int seed in
+  { Prng.name = "splitmix64"; next_u32; reseed }
+
+(* A raw 64-bit stepper, handy for seeding array-valued states. *)
+let stepper seed =
+  let st = { s = Int64.of_int seed } in
+  fun () -> next_int64 st

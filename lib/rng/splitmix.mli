@@ -1,0 +1,13 @@
+(** SplitMix64 (Steele, Lea & Flood 2014): the repository's default
+    deterministic stream, also used to expand seeds for the other
+    generators. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer: a bijective avalanche mix of one word. *)
+
+val create : int -> Prng.t
+(** [create seed] is a SplitMix64 stream. *)
+
+val stepper : int -> unit -> int64
+(** [stepper seed] is a raw 64-bit stepping function, handy for seeding
+    array-valued generator states. *)

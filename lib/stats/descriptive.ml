@@ -1,0 +1,53 @@
+(* Descriptive statistics used by the ECT and by the median-distance
+   variable selection of paper Section 3. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+(* Linear-interpolated quantile, q in [0,1]. *)
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+type iqr = { q1 : float; q3 : float }
+
+let iqr xs = { q1 = quantile xs 0.25; q3 = quantile xs 0.75 }
+
+(* Do the interquartile ranges of two samples overlap?  The median-distance
+   selection keeps only variables whose ensemble and experimental IQRs are
+   disjoint. *)
+let iqr_overlap a b =
+  let ia = iqr a and ib = iqr b in
+  not (ia.q3 < ib.q1 || ib.q3 < ia.q1)
+
+(* Standardize [x] by the given location/scale; a degenerate scale keeps
+   the centered value. *)
+let standardize ~mean:m ~std:s x = if s > 1e-300 then (x -. m) /. s else x -. m
+
+let standardize_array ~mean ~std xs = Array.map (standardize ~mean ~std) xs

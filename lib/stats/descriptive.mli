@@ -1,0 +1,30 @@
+(** Descriptive statistics used by the ECT and the median-distance
+    variable selection (paper Section 3). *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for fewer than two points). *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** Linear-interpolated quantile, [q] in [\[0,1\]]; input need not be
+    sorted. *)
+
+val median : float array -> float
+
+type iqr = { q1 : float; q3 : float }
+
+val iqr : float array -> iqr
+
+val iqr_overlap : float array -> float array -> bool
+(** Do the interquartile ranges of two samples overlap?  The selection
+    keeps only variables whose ensemble and experimental IQRs are
+    disjoint. *)
+
+val standardize : mean:float -> std:float -> float -> float
+(** Center and scale; a degenerate scale centers only. *)
+
+val standardize_array : mean:float -> std:float -> float array -> float array

@@ -1,0 +1,32 @@
+(** L1-regularized (lasso) logistic regression by proximal gradient
+    descent — the paper's second variable-selection method. *)
+
+type model = {
+  weights : float array;  (** per standardized feature *)
+  bias : float;
+  feature_means : float array;
+  feature_stds : float array;
+  lambda : float;
+}
+
+val sigmoid : float -> float
+val soft_threshold : float -> float -> float
+(** [soft_threshold x t] shrinks [x] toward zero by [t]. *)
+
+val fit : ?max_iter:int -> ?tol:float -> lambda:float -> Matrix.t -> float array -> model
+(** Fit on rows of [x] with labels [y] in {0,1}; features are standardized
+    internally and the step size comes from a power-iteration Lipschitz
+    estimate. *)
+
+val predict_proba : model -> float array -> float
+val predict : model -> float array -> float
+
+val nonzero_features : ?threshold:float -> model -> int list
+(** Indices of surviving (selected) features. *)
+
+val lambda_max : Matrix.t -> float array -> float
+(** Smallest penalty that zeroes every coefficient. *)
+
+val fit_select : ?target:int -> ?path_steps:int -> Matrix.t -> float array -> model
+(** Walk a geometric regularization path and return the model whose
+    support size is closest to [target] (paper: "about five variables"). *)

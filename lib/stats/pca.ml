@@ -1,0 +1,56 @@
+(* Principal component analysis on standardized data — the statistical
+   engine of the UF-CAM-ECT (Baker et al. 2015; Milroy et al. 2018).  Data
+   rows are runs, columns are output variables. *)
+
+type t = {
+  means : float array;
+  stds : float array;  (* degenerate columns get std = 1 (center only) *)
+  components : Matrix.t;  (* components.(k) = loading vector of PC k *)
+  explained : float array;  (* eigenvalues, descending *)
+  n_components : int;
+}
+
+let standardize_row t row =
+  Array.mapi (fun j x -> Descriptive.standardize ~mean:t.means.(j) ~std:t.stds.(j) x) row
+
+(* Fit on [data] (runs x vars).  [n_components] defaults to
+   min (vars, runs - 1). *)
+let fit ?n_components (data : Matrix.t) : t =
+  let n = Matrix.rows data and p = Matrix.cols data in
+  if n < 3 then invalid_arg "Pca.fit: need at least 3 runs";
+  let cols = Array.init p (fun j -> Array.init n (fun i -> data.(i).(j))) in
+  let means = Array.map Descriptive.mean cols in
+  (* Degenerate columns (no ensemble variability at all) are standardized
+     against a machine-noise scale instead of being muted: a variable that
+     never varies across members but moves in a test run is maximally
+     anomalous. *)
+  let stds =
+    Array.map2
+      (fun c mu ->
+        let s = Descriptive.std c in
+        if s > 1e-300 then s else Float.max (1e-13 *. abs_float mu) 1e-250)
+      cols means
+  in
+  let z =
+    Matrix.init ~rows:n ~cols:p (fun i j -> (data.(i).(j) -. means.(j)) /. stds.(j))
+  in
+  let cov = Matrix.covariance z in
+  let eig = Matrix.jacobi_eigen cov in
+  let k_max = min p (n - 1) in
+  let k = match n_components with Some k -> min k k_max | None -> k_max in
+  {
+    means;
+    stds;
+    components = Array.sub eig.Matrix.vectors 0 k;
+    explained = Array.sub eig.Matrix.values 0 k;
+    n_components = k;
+  }
+
+(* PC scores of one run (length [n_components]). *)
+let scores t row =
+  let z = standardize_row t row in
+  Array.map (fun comp -> Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. z.(j)) comp))
+    t.components
+
+(* Scores for every row of a data matrix. *)
+let transform t (data : Matrix.t) : Matrix.t = Array.map (scores t) data

@@ -1,0 +1,27 @@
+(** Principal component analysis on standardized data — the statistical
+    engine of the UF-CAM-ECT.  Rows are runs, columns are output
+    variables. *)
+
+type t = {
+  means : float array;
+  stds : float array;
+      (** degenerate columns get a machine-noise scale so that a variable
+          with no ensemble variability that moves in a test run scores as
+          maximally anomalous *)
+  components : Matrix.t;  (** [components.(k)] is the loading vector of PC k *)
+  explained : float array;  (** eigenvalues, descending *)
+  n_components : int;
+}
+
+val fit : ?n_components:int -> Matrix.t -> t
+(** Standardize, build the covariance, eigendecompose (Jacobi).
+    [n_components] defaults to [min (vars, runs - 1)]; raises
+    [Invalid_argument] for fewer than 3 runs. *)
+
+val standardize_row : t -> float array -> float array
+
+val scores : t -> float array -> float array
+(** PC scores of one run. *)
+
+val transform : t -> Matrix.t -> Matrix.t
+(** Scores for every row. *)

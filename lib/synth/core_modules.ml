@@ -1,0 +1,514 @@
+(* The hand-written core of the synthetic CAM-like model.
+
+   Every module here mirrors a real CESM/CAM counterpart that the paper's
+   experiments touch:
+
+   - [dyn_comp]    Lorenz-96 dynamical core (chaotic u/v advection)
+   - [dyn3_mod]    hydrostatic pressure / geopotential (DYN3BUG site;
+                   also writes state%omega — the RANDOMBUG site)
+   - [wv_saturation] Goff–Gratch saturation vapor pressure (GOFFGRATCH
+                   site: the 8.1328e-3 coefficient)
+   - [micro_mg]    Morrison–Gettelman-style microphysics with the paper's
+                   variable names (dum, ratio, tlat, qniic, nctend, ...)
+                   and an energy-fixer residual that makes the module
+                   FMA-sensitive (AVX2 experiment)
+   - [microp_aero] isolated wsub computation (WSUBBUG site)
+   - [cldfrc_mod]  cloud fraction aggregation
+   - [rad_lw/sw]   radiation with PRNG-driven McICA subcolumns (RAND-MT
+                   bug locations: rnd_lw/subcol_lw, rnd_sw/subcol_sw)
+   - [srf_flux_mod] surface fluxes (wsx/taux, shf, tref, u10)
+   - [lnd_comp_mod] land component (snowhland) — outside CAM
+   - [cam_driver]  time-stepping driver
+
+   The sources are emitted as text and then parsed by rca_fortran: the
+   graph pipeline and the interpreter both consume exactly what is written
+   here. *)
+
+let shr_kind_mod _c =
+  ( "shr_kind_mod.F90",
+    {|
+module shr_kind_mod
+  implicit none
+  integer, parameter :: shr_kind_r8 = 8
+  integer, parameter :: shr_kind_in = 4
+end module shr_kind_mod
+|}
+  )
+
+let physconst _c =
+  ( "physconst.F90",
+    {|
+module physconst
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  implicit none
+  real(r8), parameter :: gravit = 9.80616_r8
+  real(r8), parameter :: rair = 287.042_r8
+  real(r8), parameter :: cpair = 1004.64_r8
+  real(r8), parameter :: latvap = 2501000.0_r8
+  real(r8), parameter :: latice = 333700.0_r8
+  real(r8), parameter :: rh2o = 461.505_r8
+  real(r8), parameter :: epsilo = 0.621972_r8
+  real(r8), parameter :: tmelt = 273.15_r8
+  real(r8), parameter :: p00 = 100000.0_r8
+  real(r8), parameter :: dtime = 0.05_r8
+  real(r8), parameter :: zvir = 0.60779_r8
+end module physconst
+|}
+  )
+
+let ppgrid (c : Config.t) =
+  ( "ppgrid.F90",
+    Printf.sprintf
+      {|
+module ppgrid
+  implicit none
+  integer, parameter :: pcols = %d
+  integer, parameter :: pver = %d
+  integer, parameter :: pverp = %d
+end module ppgrid
+|}
+      c.Config.ncol c.Config.pver (c.Config.pver + 1) )
+
+let gmean_mod _c =
+  ( "gmean_mod.F90",
+    {|
+module gmean_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  implicit none
+contains
+  function gmean2d(f) result(g)
+    real(r8), intent(in) :: f(pcols, pver)
+    real(r8) :: g
+    integer :: i, k
+    g = 0.0_r8
+    do k = 1, pver
+      do i = 1, pcols
+        g = g + f(i, k)
+      end do
+    end do
+    g = g / (pcols * pver)
+  end function gmean2d
+
+  function gmean1d(f) result(g)
+    real(r8), intent(in) :: f(pcols)
+    real(r8) :: g
+    integer :: i
+    g = 0.0_r8
+    do i = 1, pcols
+      g = g + f(i)
+    end do
+    g = g / pcols
+  end function gmean1d
+end module gmean_mod
+|}
+  )
+
+let physics_types _c =
+  ( "physics_types.F90",
+    {|
+module physics_types
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  implicit none
+  type physics_state
+    real(r8) :: t(pcols, pver)
+    real(r8) :: u(pcols, pver)
+    real(r8) :: v(pcols, pver)
+    real(r8) :: q(pcols, pver)
+    real(r8) :: omega(pcols, pver)
+    real(r8) :: pmid(pcols, pver)
+    real(r8) :: pdel(pcols, pver)
+    real(r8) :: zm(pcols, pver)
+    real(r8) :: ps(pcols)
+  end type physics_state
+  type physics_tend
+    real(r8) :: dtdt(pcols, pver)
+    real(r8) :: dqdt(pcols, pver)
+  end type physics_tend
+end module physics_types
+|}
+  )
+
+let pbuf_mod _c =
+  ( "pbuf_mod.F90",
+    {|
+module pbuf_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  implicit none
+  real(r8) :: phys_acc(pver)
+  real(r8) :: dyn_acc(pver)
+contains
+  subroutine pbuf_reset()
+    integer :: k
+    do k = 1, pver
+      phys_acc(k) = 0.0_r8
+      dyn_acc(k) = 0.0_r8
+    end do
+  end subroutine pbuf_reset
+
+  subroutine pbuf_dump_diagnostics()
+    ! never called at runtime: exercised only by coverage accounting
+    integer :: k
+    do k = 1, pver
+      print *, 'pbuf', phys_acc(k), dyn_acc(k)
+    end do
+  end subroutine pbuf_dump_diagnostics
+end module pbuf_mod
+|}
+  )
+
+let state_mod _c =
+  ( "state_mod.F90",
+    {|
+module state_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use physics_types
+  use pbuf_mod, only: phys_acc
+  implicit none
+  type(physics_state) :: state
+  type(physics_tend) :: tend
+  real(r8) :: ic_amp = 0.0_r8
+  real(r8) :: ic_phase = 0.0_r8
+contains
+  subroutine state_init()
+    integer :: i, k
+    real(r8) :: pert, colfrac
+    do k = 1, pver
+      do i = 1, pcols
+        colfrac = real(i) / real(pcols)
+        pert = 1.0_r8 + ic_amp * sin(real(i) * ic_phase + real(k))
+        state%t(i, k) = (250.0_r8 + 35.0_r8 * exp(-real(k) / pver) + 6.0_r8 * sin(6.2831853_r8 * colfrac)) * pert
+        state%u(i, k) = 8.0_r8 + 2.5_r8 * sin(6.2831853_r8 * colfrac + 0.3_r8 * k)
+        state%v(i, k) = 1.5_r8 * cos(6.2831853_r8 * colfrac - 0.2_r8 * k)
+        state%q(i, k) = 0.012_r8 * exp(-real(k) / (0.6_r8 * pver)) * (1.0_r8 + 0.2_r8 * sin(12.566371_r8 * colfrac))
+        state%omega(i, k) = 0.0_r8
+        state%pmid(i, k) = p00
+        state%pdel(i, k) = p00 / pver
+        state%zm(i, k) = 1000.0_r8 * (pver - k + 1)
+        tend%dtdt(i, k) = 0.0_r8
+        tend%dqdt(i, k) = 0.0_r8
+      end do
+    end do
+    do i = 1, pcols
+      state%ps(i) = p00 + 150.0_r8 * sin(6.2831853_r8 * real(i) / real(pcols))
+    end do
+  end subroutine state_init
+
+  subroutine physics_update(dt)
+    real(r8), intent(in) :: dt
+    integer :: i, k
+    do k = 1, pver
+      do i = 1, pcols
+        state%t(i, k) = state%t(i, k) + (tend%dtdt(i, k) + phys_acc(k) * 1.0e-4_r8) * dt
+        state%q(i, k) = max(state%q(i, k) + tend%dqdt(i, k) * dt, 1.0e-12_r8)
+        tend%dtdt(i, k) = 0.0_r8
+        tend%dqdt(i, k) = 0.0_r8
+      end do
+    end do
+  end subroutine physics_update
+
+  subroutine state_check_energy()
+    ! diagnostic-only routine that the driver never calls
+    real(r8) :: etot
+    integer :: i, k
+    etot = 0.0_r8
+    do k = 1, pver
+      do i = 1, pcols
+        etot = etot + cpair * state%t(i, k) * state%pdel(i, k) / gravit
+      end do
+    end do
+    print *, 'etot', etot
+  end subroutine state_check_energy
+end module state_mod
+|}
+  )
+
+(* Lorenz-96 advective core: chaotic in u per level, with one-way
+   advection of t and q by u (physics never feeds back into u, so the
+   dynamics-side slice stays free of physics nodes, as the paper's
+   RANDOMBUG subgraph is). *)
+let dyn_comp _c =
+  ( "dyn_comp.F90",
+    {|
+module dyn_comp
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use pbuf_mod, only: dyn_acc
+  implicit none
+  real(r8), parameter :: l96_forcing = 8.0_r8
+  real(r8), parameter :: adv_coef = 0.02_r8
+  real(r8), parameter :: pgf_coef = 1.0e-5_r8
+  real(r8) :: du(pcols, pver)
+  real(r8) :: dv(pcols, pver)
+  real(r8) :: dta(pcols, pver)
+  real(r8) :: dqa(pcols, pver)
+  real(r8) :: wrk_omega(pcols, pver)
+contains
+  subroutine dyn_run(dt)
+    real(r8), intent(in) :: dt
+    integer :: i, k, ip1, im1, im2
+    do k = 1, pver
+      do i = 1, pcols
+        ip1 = mod(i, pcols) + 1
+        im1 = mod(i + pcols - 2, pcols) + 1
+        im2 = mod(i + pcols - 3, pcols) + 1
+        du(i, k) = (state%u(ip1, k) - state%u(im2, k)) * state%u(im1, k) - state%u(i, k) &
+          + l96_forcing + dyn_acc(k) * 1.0e-4_r8 &
+          - pgf_coef * (state%pmid(ip1, k) - state%pmid(im1, k))
+        dv(i, k) = (state%v(ip1, k) - state%v(im2, k)) * state%v(im1, k) - state%v(i, k) &
+          + 0.4_r8 * l96_forcing + 0.1_r8 * (state%u(i, k) - state%v(i, k))
+        dta(i, k) = -adv_coef * state%u(i, k) * (state%t(ip1, k) - state%t(im1, k))
+        dqa(i, k) = -adv_coef * state%u(i, k) * (state%q(ip1, k) - state%q(im1, k))
+      end do
+    end do
+    do k = 1, pver
+      do i = 1, pcols
+        ip1 = mod(i, pcols) + 1
+        im1 = mod(i + pcols - 2, pcols) + 1
+        state%u(i, k) = state%u(i, k) + dt * du(i, k)
+        state%v(i, k) = state%v(i, k) + dt * dv(i, k)
+        state%t(i, k) = state%t(i, k) + dt * dta(i, k)
+        state%q(i, k) = max(state%q(i, k) + dt * dqa(i, k), 1.0e-12_r8)
+        wrk_omega(i, k) = -0.5_r8 * (state%u(ip1, k) - state%u(im1, k)) * state%pdel(i, k) / 1000.0_r8
+      end do
+    end do
+    do k = 1, pver
+      do i = 1, pcols
+        state%omega(i, k) = wrk_omega(i, k)
+      end do
+    end do
+  end subroutine dyn_run
+
+  subroutine dyn_print_cfl()
+    ! never called: diagnostic stub kept for coverage statistics
+    real(r8) :: umax
+    umax = maxval(du)
+    print *, 'cfl', umax
+  end subroutine dyn_print_cfl
+end module dyn_comp
+|}
+  )
+
+(* Hydrostatic pressure and geopotential (the DYN3BUG site).  The fused
+   hyam*p00 + hybm*ps pattern also gives this module mild FMA
+   sensitivity, amplified by the surface-pressure fixer below. *)
+let dyn3_mod _c =
+  ( "dyn3_mod.F90",
+    {|
+module dyn3_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  implicit none
+  real(r8) :: hyam(pver)
+  real(r8) :: hybm(pver)
+  real(r8), parameter :: psfix_amp = 3.0e2_r8
+contains
+  subroutine dyn3_init()
+    integer :: k
+    real(r8) :: frac
+    do k = 1, pver
+      frac = real(k) / real(pver)
+      hyam(k) = 0.25_r8 * (1.0_r8 - frac) * frac * 4.0_r8
+      hybm(k) = frac * frac
+    end do
+  end subroutine dyn3_init
+
+  subroutine dyn3_run()
+    integer :: i, k, ip1, im1
+    real(r8) :: pint_above, pint_below, frac_lo, frac_hi
+    real(r8) :: psum, t1ps, residps, udiv
+    psum = 0.0_r8
+    do i = 1, pcols
+      do k = 1, pver
+        state%pmid(i, k) = hyam(k) * p00 + hybm(k) * state%ps(i)
+        frac_lo = real(k - 1) / real(pver)
+        frac_hi = real(k) / real(pver)
+        pint_above = 0.25_r8 * (1.0_r8 - frac_lo) * frac_lo * 4.0_r8 * p00 + frac_lo * frac_lo * state%ps(i)
+        pint_below = 0.25_r8 * (1.0_r8 - frac_hi) * frac_hi * 4.0_r8 * p00 + frac_hi * frac_hi * state%ps(i)
+        state%pdel(i, k) = max(pint_below - pint_above, 1.0_r8)
+        state%zm(i, k) = rair * state%t(i, k) / gravit * log(p00 / max(state%pmid(i, k), 1.0_r8))
+        ! surface-pressure fixer: residual is exactly zero unless fused
+        ! multiply-add contraction changes the rounding of hybm*ps
+        t1ps = hybm(k) * state%ps(i)
+        residps = hybm(k) * state%ps(i) - t1ps
+        psum = psum + abs(residps)
+      end do
+    end do
+    do i = 1, pcols
+      ip1 = mod(i, pcols) + 1
+      im1 = mod(i + pcols - 2, pcols) + 1
+      udiv = state%u(ip1, pver) - state%u(im1, pver)
+      state%ps(i) = state%ps(i) - 0.002_r8 * (state%ps(i) - p00) - 8.0_r8 * udiv + psum * psfix_amp
+    end do
+  end subroutine dyn3_run
+end module dyn3_mod
+|}
+  )
+
+(* Goff–Gratch saturation vapor pressure over water; the 8.1328e-3
+   coefficient is the GOFFGRATCH bug site. *)
+let wv_saturation _c =
+  ( "wv_saturation.F90",
+    {|
+module wv_saturation
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use physconst
+  implicit none
+  real(r8), parameter :: tboil = 373.16_r8
+  real(r8), parameter :: es_st = 1013.246_r8
+contains
+  elemental function goffgratch_svp(t) result(es)
+    real(r8), intent(in) :: t
+    real(r8) :: es
+    real(r8) :: log10es, tb_over_t
+    tb_over_t = tboil / max(t, 150.0_r8)
+    log10es = -7.90298_r8 * (tb_over_t - 1.0_r8) &
+      + 5.02808_r8 * log(tb_over_t) / log(10.0_r8) &
+      - 1.3816e-7_r8 * (10.0_r8 ** (11.344_r8 * (1.0_r8 - 1.0_r8 / tb_over_t)) - 1.0_r8) &
+      + 8.1328e-3_r8 * (10.0_r8 ** (-3.49149_r8 * (tb_over_t - 1.0_r8)) - 1.0_r8) &
+      + log(es_st) / log(10.0_r8)
+    es = 100.0_r8 * 10.0_r8 ** log10es
+  end function goffgratch_svp
+
+  elemental function qsat_water(t, p) result(qs)
+    real(r8), intent(in) :: t, p
+    real(r8) :: qs
+    real(r8) :: es
+    es = goffgratch_svp(t)
+    es = min(es, 0.9_r8 * p)
+    qs = epsilo * es / (p - (1.0_r8 - epsilo) * es)
+  end function qsat_water
+end module wv_saturation
+|}
+  )
+
+(* Isolated wsub computation — WSUBBUG site (0.20 -> 2.00).  Deliberately
+   disconnected from the model state so its backward slice stays tiny, as
+   in the paper's sanity-check experiment. *)
+let microp_aero _c =
+  ( "microp_aero.F90",
+    {|
+module microp_aero
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use gmean_mod
+  use state_mod, only: ic_amp, ic_phase
+  implicit none
+  real(r8), parameter :: tke0 = 0.08_r8
+  real(r8), parameter :: tke_amp = 0.04_r8
+  real(r8), parameter :: wsubmin = 0.2_r8
+  real(r8) :: tke(pcols, pver)
+  real(r8) :: wsub(pcols, pver)
+contains
+  subroutine microp_aero_run()
+    integer :: i, k
+    do k = 1, pver
+      do i = 1, pcols
+        ! boundary-data turbulence profile, perturbed like the initial
+        ! conditions but disconnected from the model state
+        tke(i, k) = (tke0 + tke_amp * sin(real(i)) * exp(-real(k) / pver)) &
+          * (1.0_r8 + ic_amp * sin(real(i * k) * ic_phase))
+        wsub(i, k) = max(0.20_r8 * sqrt(tke(i, k)), wsubmin * 0.25_r8)
+      end do
+    end do
+    call outfld('wsub', gmean2d(wsub))
+  end subroutine microp_aero_run
+end module microp_aero
+|}
+  )
+
+(* Cloud fraction: relative-humidity closure plus the low/med/high/total
+   aggregation hubs. *)
+let cldfrc_mod _c =
+  ( "cldfrc_mod.F90",
+    {|
+module cldfrc_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use wv_saturation
+  use gmean_mod
+  implicit none
+  real(r8), parameter :: rhminl = 0.80_r8
+  real(r8) :: cld(pcols, pver)
+  real(r8) :: rhu(pcols, pver)
+  real(r8) :: cllow(pcols)
+  real(r8) :: clmed(pcols)
+  real(r8) :: clhgh(pcols)
+  real(r8) :: cltot(pcols)
+contains
+  subroutine cldfrc_run()
+    integer :: i, k
+    real(r8) :: qs, rhdiff
+    do k = 1, pver
+      do i = 1, pcols
+        qs = qsat_water(state%t(i, k), state%pmid(i, k))
+        rhu(i, k) = min(state%q(i, k) / max(qs, 1.0e-12_r8), 1.2_r8)
+        rhdiff = (rhu(i, k) - rhminl) / (1.0_r8 - rhminl)
+        cld(i, k) = 0.05_r8 + 0.90_r8 * min(max(rhdiff, 0.0_r8), 1.0_r8) ** 1.5_r8
+      end do
+    end do
+    do i = 1, pcols
+      cllow(i) = 0.0_r8
+      clmed(i) = 0.0_r8
+      clhgh(i) = 0.0_r8
+      do k = 1, pver
+        if (k > 2 * pver / 3) then
+          cllow(i) = max(cllow(i), cld(i, k))
+        else if (k > pver / 3) then
+          clmed(i) = max(clmed(i), cld(i, k))
+        else
+          clhgh(i) = max(clhgh(i), cld(i, k))
+        end if
+      end do
+      cltot(i) = 1.0_r8 - (1.0_r8 - cllow(i)) * (1.0_r8 - clmed(i)) * (1.0_r8 - clhgh(i))
+    end do
+    call outfld('cloud', gmean2d(cld))
+    call outfld('cldlow', gmean1d(cllow))
+    call outfld('cldmed', gmean1d(clmed))
+    call outfld('cldhgh', gmean1d(clhgh))
+    call outfld('cldtot', gmean1d(cltot))
+  end subroutine cldfrc_run
+end module cldfrc_mod
+|}
+  )
+
+(* CCN activation: connects the saturation function into an aerosol-side
+   output (ccn3 in the GOFFGRATCH selection). *)
+let ccn_mod _c =
+  ( "ccn_mod.F90",
+    {|
+module ccn_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use state_mod
+  use wv_saturation
+  use gmean_mod
+  implicit none
+  real(r8), parameter :: naer0 = 120.0_r8
+  real(r8) :: ccn(pcols, pver)
+contains
+  subroutine ccn_run()
+    integer :: i, k
+    real(r8) :: supersat, qs
+    do k = 1, pver
+      do i = 1, pcols
+        qs = qsat_water(state%t(i, k), state%pmid(i, k))
+        supersat = max(state%q(i, k) / max(qs, 1.0e-12_r8) - 0.95_r8, 0.0_r8)
+        ccn(i, k) = naer0 * supersat ** 0.7_r8
+      end do
+    end do
+    call outfld('ccn3', gmean2d(ccn))
+  end subroutine ccn_run
+end module ccn_mod
+|}
+  )

@@ -1,0 +1,217 @@
+(* Generated filler modules: the bulk that makes the synthetic model's
+   digraph CESM-like in size and shape.
+
+   Four families:
+   - physics parameterizations (executed; read the model state, feed the
+     physics buffer that enters the radiative tendencies)
+   - dynamics parameterizations (executed; feed the dynamics buffer)
+   - utility modules (executed; pure helper functions used by the fillers)
+   - unused modules (compiled into the build via `use` from the driver but
+     never called) and unbuilt modules (outside the build closure)
+
+   Structure is pseudo-random but fully deterministic in the config seed. *)
+
+let phys_prefixes =
+  [| "zm_conv"; "uwshcu"; "cldwat"; "hetfrz"; "aer_act"; "gw_drag"; "vdiff"; "rayleigh"; "macrop"; "clubb" |]
+
+let dyn_prefixes = [| "se_dyn"; "fv_dyn"; "trunc"; "filter"; "remap"; "courant" |]
+let util_prefixes = [| "interp_util"; "poly_util"; "blend_util"; "norm_util" |]
+let unused_prefixes = [| "chem"; "mo_gas"; "dust"; "seasalt"; "carma" |]
+let unbuilt_prefixes = [| "pop_ocn"; "cice"; "rtm_river"; "glc_ice"; "ww3_wav" |]
+
+type family = Physics | Dynamics | Utility | Unused | Unbuilt
+
+let family_name = function
+  | Physics -> "physics"
+  | Dynamics -> "dynamics"
+  | Utility -> "utility"
+  | Unused -> "unused"
+  | Unbuilt -> "unbuilt"
+
+let module_name family idx =
+  let prefixes =
+    match family with
+    | Physics -> phys_prefixes
+    | Dynamics -> dyn_prefixes
+    | Utility -> util_prefixes
+    | Unused -> unused_prefixes
+    | Unbuilt -> unbuilt_prefixes
+  in
+  Printf.sprintf "%s_%03d" prefixes.(idx mod Array.length prefixes) idx
+
+(* One utility module: a few pure functions over scalars. *)
+let utility_module ~rng idx =
+  let name = module_name Utility idx in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  pr "module %s" name;
+  pr "  use shr_kind_mod, only: r8 => shr_kind_r8";
+  pr "  implicit none";
+  let n_funs = 2 + Rca_rng.Prng.int rng 2 in
+  let c1 = Rca_rng.Prng.float_range rng 0.1 0.9 in
+  pr "  real(r8), parameter :: %s_c0 = %.6f_r8" name c1;
+  pr "contains";
+  for f = 1 to n_funs do
+    let fn = Printf.sprintf "%s_f%d" name f in
+    pr "  function %s(a, b) result(r)" fn;
+    pr "    real(r8), intent(in) :: a, b";
+    pr "    real(r8) :: r";
+    pr "    real(r8) :: w1, w2";
+    (match Rca_rng.Prng.int rng 3 with
+    | 0 ->
+        pr "    w1 = a * %.6f_r8 + b * %.6f_r8" (Rca_rng.Prng.float_range rng 0.1 0.9)
+          (Rca_rng.Prng.float_range rng 0.1 0.9);
+        pr "    w2 = w1 * %s_c0 + a" name;
+        pr "    r = w2 / (1.0_r8 + abs(w1))"
+    | 1 ->
+        pr "    w1 = max(a, b) * %.6f_r8" (Rca_rng.Prng.float_range rng 0.2 1.5);
+        pr "    w2 = min(a, b) + w1 * %s_c0" name;
+        pr "    r = tanh(w2 * 0.1_r8)"
+    | _ ->
+        pr "    w1 = sqrt(abs(a) + 1.0e-12_r8)";
+        pr "    w2 = w1 * b + %s_c0" name;
+        pr "    r = w2 * exp(-abs(b) * 0.01_r8)");
+    pr "  end function %s" fn
+  done;
+  pr "end module %s" name;
+  (name, Printf.sprintf "%s.F90" name, Buffer.contents buf, n_funs)
+
+(* Pick a random combination of previously defined work variables. *)
+let rand_operand rng defined state_reads =
+  if defined = [] || Rca_rng.Prng.float01 rng < 0.2 then
+    List.nth state_reads (Rca_rng.Prng.int rng (List.length state_reads))
+  else Rca_rng.Prng.choose rng defined
+
+(* One filler parameterization module.  [target] decides which buffer its
+   result feeds ([`Phys] or [`Dyn]); [utilities] is the pool of callable
+   helper functions (name, module). *)
+let parameterization_module ~rng ~(config : Config.t) ~family ~utilities idx =
+  let name = module_name family idx in
+  let executed = match family with Physics | Dynamics -> true | _ -> false in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  (* pick up to two utility modules to use *)
+  let my_utils =
+    match utilities with
+    | [] -> []
+    | _ ->
+        let k = min (1 + Rca_rng.Prng.int rng 2) (List.length utilities) in
+        List.init k (fun i -> List.nth utilities ((idx + i) mod List.length utilities))
+  in
+  pr "module %s" name;
+  pr "  use shr_kind_mod, only: r8 => shr_kind_r8";
+  pr "  use ppgrid";
+  pr "  use physconst";
+  if executed then begin
+    pr "  use state_mod";
+    pr "  use pbuf_mod"
+  end;
+  List.iter (fun (umod, _) -> pr "  use %s" umod) my_utils;
+  pr "  implicit none";
+  let n_params = 2 + Rca_rng.Prng.int rng 3 in
+  for p = 1 to n_params do
+    pr "  real(r8), parameter :: %s_p%d = %.6f_r8" name p (Rca_rng.Prng.float_range rng 0.05 2.0)
+  done;
+  pr "  real(r8) :: %s_diag(pver)" name;
+  pr "  real(r8) :: %s_count = 0.0_r8" name;
+  pr "contains";
+  pr "  subroutine %s_tend()" name;
+  let nvars = config.Config.vars_per_filler in
+  let stem =
+    String.to_seq (String.sub name 0 (min 4 (String.length name)))
+    |> Seq.filter (fun c -> c <> '_')
+    |> String.of_seq
+  in
+  let var v = Printf.sprintf "w%s_%02d" stem v in
+  pr "    real(r8) :: %s" (String.concat ", " (List.init nvars (fun v -> var (v + 1))));
+  pr "    integer :: k";
+  pr "    do k = 1, pver";
+  let state_reads =
+    if executed then
+      (match family with
+      | Physics -> [ "state%t(1, k)"; "state%q(1, k)"; "state%pmid(1, k)"; "state%t(2, k)" ]
+      | _ -> [ "state%u(1, k)"; "state%v(1, k)"; "state%ps(1)"; "state%u(3, k)" ])
+    else [ "real(k)"; "real(k + 1)"; "real(k * 2)" ]
+  in
+  let defined = ref [] in
+  let fun_pool = List.concat_map (fun (_, fns) -> fns) my_utils in
+  for v = 1 to nvars do
+    let lhs = var v in
+    let a = rand_operand rng !defined state_reads in
+    let b = rand_operand rng !defined state_reads in
+    let coef () = Rca_rng.Prng.float_range rng 0.01 1.2 in
+    (match Rca_rng.Prng.int rng 5 with
+    | 0 -> pr "      %s = %s * %.5f_r8 + %s" lhs a (coef ()) b
+    | 1 -> pr "      %s = (%s + %s) * %s_p%d" lhs a b name (1 + Rca_rng.Prng.int rng n_params)
+    | 2 when fun_pool <> [] ->
+        pr "      %s = %s(%s, %s)" lhs (Rca_rng.Prng.choose rng fun_pool) a b
+    | 3 -> pr "      %s = max(%s, %s * %.5f_r8)" lhs a b (coef ())
+    | _ -> pr "      %s = %s * %s_p%d + %s * %.5f_r8" lhs a name (1 + Rca_rng.Prng.int rng n_params) b (coef ()));
+    defined := lhs :: !defined
+  done;
+  let last = var nvars in
+  pr "      %s_diag(k) = tanh(%s * 1.0e-3_r8)" name last;
+  if executed then begin
+    match family with
+    | Physics -> pr "      phys_acc(k) = phys_acc(k) + %s_diag(k) * 1.0e-5_r8" name
+    | _ -> pr "      dyn_acc(k) = dyn_acc(k) + %s_diag(k) * 1.0e-5_r8" name
+  end;
+  pr "    end do";
+  pr "    %s_count = %s_count + 1.0_r8" name name;
+  pr "  end subroutine %s_tend" name;
+  (* a never-called subprogram, for the coverage statistics *)
+  pr "  subroutine %s_dump()" name;
+  pr "    integer :: k";
+  pr "    do k = 1, pver";
+  pr "      print *, '%s', %s_diag(k)" name name;
+  pr "    end do";
+  pr "  end subroutine %s_dump" name;
+  pr "  function %s_norm() result(r)" name;
+  pr "    real(r8) :: r";
+  pr "    r = sum(%s_diag) / pver" name;
+  pr "  end function %s_norm" name;
+  pr "end module %s" name;
+  (name, Printf.sprintf "%s.F90" name, Buffer.contents buf)
+
+type generated = {
+  phys_modules : string list;  (* module names, executed physics fillers *)
+  dyn_modules : string list;
+  util_modules : string list;
+  unused_modules : string list;
+  unbuilt_modules : string list;
+  files : (string * string) list;  (* filename, source *)
+}
+
+let generate (config : Config.t) : generated =
+  let rng = Rca_rng.Splitmix.create config.Config.seed in
+  let files = ref [] in
+  (* utilities first so parameterizations can call them *)
+  let utilities = ref [] in
+  let util_names = ref [] in
+  for i = 0 to config.Config.n_utility - 1 do
+    let name, file, src, n_funs = utility_module ~rng i in
+    files := (file, src) :: !files;
+    util_names := name :: !util_names;
+    utilities :=
+      (name, List.init n_funs (fun f -> Printf.sprintf "%s_f%d" name (f + 1))) :: !utilities
+  done;
+  let gen_family family count =
+    List.init count (fun i ->
+        let name, file, src =
+          parameterization_module ~rng ~config ~family ~utilities:!utilities i
+        in
+        files := (file, src) :: !files;
+        name)
+  in
+  let phys = gen_family Physics config.Config.n_extra_physics in
+  let dyn = gen_family Dynamics config.Config.n_extra_dynamics in
+  let unused = gen_family Unused config.Config.n_unused in
+  let unbuilt = gen_family Unbuilt config.Config.n_unbuilt in
+  {
+    phys_modules = phys;
+    dyn_modules = dyn;
+    util_modules = List.rev !util_names;
+    unused_modules = unused;
+    unbuilt_modules = unbuilt;
+    files = List.rev !files;
+  }

@@ -1,0 +1,72 @@
+(* Output-variable catalogue: the mapping between history names written by
+   `outfld` and the internal variables that compute them (paper Table 2's
+   "output variables / internal variables" columns).
+
+   The paper resolves this mapping by instrumenting the I/O calls to print
+   their label argument; [Rca_metagraph] recovers the same mapping by
+   scanning `call outfld('<name>', <expr>)` statements, and tests check it
+   against this table. *)
+
+type entry = {
+  output : string;  (* history/file name *)
+  internal : string;  (* internal (canonical) variable name *)
+  module_ : string;  (* module computing it *)
+}
+
+let catalogue =
+  [
+    { output = "wsub"; internal = "wsub"; module_ = "microp_aero" };
+    { output = "omega"; internal = "omega"; module_ = "diag_mod" };
+    { output = "uu"; internal = "u"; module_ = "diag_mod" };
+    { output = "vv"; internal = "v"; module_ = "diag_mod" };
+    { output = "z3"; internal = "zm"; module_ = "diag_mod" };
+    { output = "omegat"; internal = "omegat"; module_ = "diag_mod" };
+    { output = "t"; internal = "t"; module_ = "diag_mod" };
+    { output = "q"; internal = "q"; module_ = "diag_mod" };
+    { output = "tmq"; internal = "tmq"; module_ = "diag_mod" };
+    { output = "cloud"; internal = "cld"; module_ = "cldfrc_mod" };
+    { output = "cldlow"; internal = "cllow"; module_ = "cldfrc_mod" };
+    { output = "cldmed"; internal = "clmed"; module_ = "cldfrc_mod" };
+    { output = "cldhgh"; internal = "clhgh"; module_ = "cldfrc_mod" };
+    { output = "cldtot"; internal = "cltot"; module_ = "cldfrc_mod" };
+    { output = "ccn3"; internal = "ccn"; module_ = "ccn_mod" };
+    { output = "aqsnow"; internal = "qsout2"; module_ = "micro_mg" };
+    { output = "ansnow"; internal = "nsout2"; module_ = "micro_mg" };
+    { output = "freqs"; internal = "freqs"; module_ = "micro_mg" };
+    { output = "precsl"; internal = "snowl"; module_ = "micro_mg" };
+    { output = "awnc"; internal = "nctend"; module_ = "micro_mg" };
+    { output = "flds"; internal = "flwds"; module_ = "rad_lw_mod" };
+    { output = "flns"; internal = "flns"; module_ = "rad_lw_mod" };
+    { output = "qrl"; internal = "qrl"; module_ = "rad_lw_mod" };
+    { output = "fsds"; internal = "fsds"; module_ = "rad_sw_mod" };
+    { output = "sols"; internal = "sols"; module_ = "rad_sw_mod" };
+    { output = "qrs"; internal = "qrs"; module_ = "rad_sw_mod" };
+    { output = "taux"; internal = "wsx"; module_ = "srf_flux_mod" };
+    { output = "tauy"; internal = "wsy"; module_ = "srf_flux_mod" };
+    { output = "shflx"; internal = "shf"; module_ = "srf_flux_mod" };
+    { output = "trefht"; internal = "tref"; module_ = "srf_flux_mod" };
+    { output = "u10"; internal = "u10"; module_ = "srf_flux_mod" };
+    { output = "ps"; internal = "ps"; module_ = "srf_flux_mod" };
+    { output = "snowhlnd"; internal = "snowhland"; module_ = "lnd_comp_mod" };
+    { output = "soilw"; internal = "soilw"; module_ = "lnd_comp_mod" };
+  ]
+
+let names = List.map (fun e -> e.output) catalogue
+
+let internal_of_output name =
+  List.find_opt (fun e -> e.output = name) catalogue |> Option.map (fun e -> e.internal)
+
+let outputs_of_internal internal =
+  List.filter (fun e -> e.internal = internal) catalogue |> List.map (fun e -> e.output)
+
+(* Modules that belong to the "CAM" component (slices restricted to CAM
+   exclude the land component and the shared infrastructure, mirroring the
+   paper's restriction in Section 6). *)
+let non_cam_modules = [ "lnd_comp_mod"; "shr_kind_mod" ]
+
+let is_cam_module name =
+  (not (List.mem name non_cam_modules))
+  && not
+       (List.exists
+          (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+          [ "pop_ocn"; "cice"; "rtm_river"; "glc_ice"; "ww3_wav" ])

@@ -1,0 +1,400 @@
+(* Physics suite of the synthetic model: Morrison–Gettelman-style
+   microphysics, PRNG-driven radiation, surface fluxes, land component and
+   the history diagnostics.  See [Core_modules] for the naming map to the
+   paper's experiments. *)
+
+(* micro_mg: local variable names deliberately mirror the paper's AVX2
+   REPL listing (dum, ratio, tlat, qniic, nric, nsic, qctend, qric,
+   qitend, prds, pre, nctend, qvlat, mnuccc, nitend, nsagg).  [dum] is
+   re-assigned before every process rate, which is what makes it the
+   top eigenvector in-centrality node of the physics community.
+
+   The "energy fixer" block is the FMA sensitivity: [resid] is exactly
+   zero unless a*b+c contraction changes the rounding of q*cldm, and its
+   absolute value is accumulated and redistributed into the tendencies —
+   the same mechanism (fused rounding feeding a global fixer) that made
+   MG1 the source of the Mira/Cheyenne ECT failures. *)
+let micro_mg _c =
+  ( "micro_mg.F90",
+    {|
+module micro_mg
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use cldfrc_mod, only: cld
+  use wv_saturation
+  use gmean_mod
+  implicit none
+  real(r8), parameter :: qsmall = 1.0e-18_r8
+  real(r8), parameter :: autoconv = 1350.0_r8
+  real(r8), parameter :: accrete = 67.0_r8
+  real(r8), parameter :: fma_amp = 1.0e9_r8
+  real(r8) :: qcic(pcols, pver)
+  real(r8) :: qiic(pcols, pver)
+  real(r8) :: qniic(pcols, pver)
+  real(r8) :: qric(pcols, pver)
+  real(r8) :: nric(pcols, pver)
+  real(r8) :: nsic(pcols, pver)
+  real(r8) :: tlat(pcols, pver)
+  real(r8) :: qvlat(pcols, pver)
+  real(r8) :: qctend(pcols, pver)
+  real(r8) :: qitend(pcols, pver)
+  real(r8) :: nctend(pcols, pver)
+  real(r8) :: nitend(pcols, pver)
+  real(r8) :: qsout(pcols, pver)
+  real(r8) :: freqs(pcols, pver)
+  real(r8) :: qsout2(pcols, pver)
+  real(r8) :: nsout2(pcols, pver)
+  real(r8) :: snowl(pcols)
+  real(r8) :: efix_col(pcols)
+contains
+  subroutine micro_mg_tend(dt)
+    real(r8), intent(in) :: dt
+    integer :: i, k
+    real(r8) :: dum, ratio, berg, prds, pre, mnuccc, nsagg, psacws
+    real(r8) :: cldm, icefrac, qs, relhum, t1, resid, efix, sinks
+    do i = 1, pcols
+      efix_col(i) = 0.0_r8
+      snowl(i) = 0.0_r8
+    end do
+    do k = 1, pver
+      do i = 1, pcols
+        cldm = max(cld(i, k), 0.01_r8)
+        icefrac = min(max((tmelt - state%t(i, k)) / 30.0_r8, 0.0_r8), 1.0_r8)
+        qs = qsat_water(state%t(i, k), state%pmid(i, k))
+        relhum = state%q(i, k) / max(qs, qsmall)
+        ! in-cloud condensate partition
+        dum = max(state%q(i, k) - 0.9_r8 * qs, 0.0_r8)
+        qcic(i, k) = dum * (1.0_r8 - icefrac) / cldm
+        qiic(i, k) = dum * icefrac / cldm
+        dum = qcic(i, k) * 0.15_r8 + qiic(i, k) * 0.05_r8
+        qniic(i, k) = dum / cldm
+        dum = qniic(i, k) * 0.5_r8
+        qric(i, k) = dum * (1.0_r8 - icefrac)
+        nric(i, k) = qric(i, k) * 2.0e6_r8
+        nsic(i, k) = qniic(i, k) * 5.0e5_r8
+        ! autoconversion of cloud water to rain
+        dum = autoconv * qcic(i, k) ** 2.47_r8
+        pre = dum * cldm
+        ! depositional growth of snow
+        dum = qniic(i, k) * accrete * max(relhum - 1.0_r8, -0.2_r8)
+        prds = dum * 0.5_r8 + qiic(i, k) * 0.01_r8
+        ! contact freezing
+        dum = qcic(i, k) * icefrac * 0.02_r8
+        mnuccc = dum
+        ! snow self-aggregation
+        dum = nsic(i, k) * qniic(i, k) * 0.1_r8
+        nsagg = -dum
+        ! accretion of cloud water by snow
+        dum = accrete * qcic(i, k) * qniic(i, k)
+        psacws = dum * cldm
+        ! bergeron process
+        dum = qcic(i, k) * icefrac * 0.05_r8 + qiic(i, k) * 0.001_r8
+        berg = dum
+        ! conservation limiter: scale sinks so they do not exceed supply
+        sinks = (pre + mnuccc + psacws + berg) * dt
+        ratio = min(max(qcic(i, k), qsmall) / max(sinks, qsmall), 1.0_r8)
+        pre = pre * ratio
+        mnuccc = mnuccc * ratio
+        psacws = psacws * ratio
+        berg = berg * ratio
+        ! tendencies
+        qctend(i, k) = -(pre + mnuccc + psacws + berg)
+        qitend(i, k) = (mnuccc + berg) * 0.9_r8 + prds * 0.1_r8
+        nctend(i, k) = qctend(i, k) * 3.0e6_r8
+        nitend(i, k) = qitend(i, k) * 1.0e6_r8 + nsagg
+        qvlat(i, k) = -prds * 0.5_r8 - pre * 0.02_r8
+        tlat(i, k) = (pre * latvap + (prds + berg) * (latvap + latice)) * 1.0e-3_r8
+        ! snow diagnostics
+        qsout(i, k) = qniic(i, k) * (1.0_r8 + psacws * 10.0_r8)
+        if (qsout(i, k) > qsmall) then
+          freqs(i, k) = 1.0_r8
+        else
+          freqs(i, k) = 0.0_r8
+        end if
+        ! energy fixer residual: identically zero without fused
+        ! multiply-add, the product rounding difference with it
+        t1 = state%q(i, k) * cldm
+        resid = state%q(i, k) * cldm - t1
+        efix_col(i) = efix_col(i) + abs(resid)
+        snowl(i) = snowl(i) + qsout(i, k) * state%pdel(i, k) / gravit * 1.0e-3_r8
+      end do
+    end do
+    ! redistribute the fixer residual into the tendencies
+    efix = 0.0_r8
+    do i = 1, pcols
+      efix = efix + efix_col(i)
+    end do
+    efix = efix * fma_amp
+    do k = 1, pver
+      do i = 1, pcols
+        tlat(i, k) = tlat(i, k) + efix
+        nctend(i, k) = nctend(i, k) + efix * 1.0e2_r8
+        nitend(i, k) = nitend(i, k) + efix * 50.0_r8
+        qvlat(i, k) = qvlat(i, k) + efix * 1.0e-5_r8
+        qniic(i, k) = qniic(i, k) + efix * 1.0e-2_r8
+        qsout2(i, k) = qsout(i, k) + qniic(i, k) * 0.25_r8
+        nsout2(i, k) = nsout2(i, k) * 0.5_r8 + nsic(i, k) * (1.0_r8 + efix)
+        tend%dtdt(i, k) = tend%dtdt(i, k) + tlat(i, k) / cpair * 100.0_r8
+        tend%dqdt(i, k) = tend%dqdt(i, k) + qvlat(i, k)
+      end do
+    end do
+    call outfld('aqsnow', gmean2d(qsout2))
+    call outfld('ansnow', gmean2d(nsout2))
+    call outfld('freqs', gmean2d(freqs))
+    call outfld('precsl', gmean1d(snowl))
+    call outfld('awnc', gmean2d(nctend))
+  end subroutine micro_mg_tend
+
+  subroutine micro_mg_debug_dump()
+    ! never called: retained for coverage accounting
+    print *, 'qc', gmean2d(qcic), 'qi', gmean2d(qiic)
+  end subroutine micro_mg_debug_dump
+end module micro_mg
+|}
+  )
+
+(* Longwave radiation with a McICA-style random subcolumn generator.  The
+   variables assigned directly from the PRNG stream (rnd_lw, subcol_lw,
+   mcica_adj_lw) are the RAND-MT "bug locations".  The aggregation chain
+   (abs_gas/abs_cld/abs_aer -> emis_acc) is the community's centrality
+   hub, and no directed path leads from the PRNG variables into it. *)
+let rad_lw _c =
+  ( "rad_lw_mod.F90",
+    {|
+module rad_lw_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use cldfrc_mod, only: cld
+  use pbuf_mod, only: phys_acc
+  use gmean_mod
+  implicit none
+  real(r8), parameter :: stebol = 5.67e-8_r8
+  real(r8), parameter :: cool0 = 1.5e-3_r8
+  real(r8) :: rnd_lw(pcols, pver)
+  real(r8) :: subcol_lw(pcols, pver)
+  real(r8) :: mcica_adj_lw(pcols)
+  real(r8) :: abs_gas(pcols, pver)
+  real(r8) :: abs_cld(pcols, pver)
+  real(r8) :: abs_aer(pcols, pver)
+  real(r8) :: emis_acc(pcols)
+  real(r8) :: flwds(pcols)
+  real(r8) :: flns(pcols)
+  real(r8) :: qrl(pcols, pver)
+contains
+  subroutine rad_lw_run()
+    integer :: i, k
+    real(r8) :: emis
+    call random_number(rnd_lw)
+    do i = 1, pcols
+      emis_acc(i) = 0.0_r8
+      mcica_adj_lw(i) = 0.0_r8
+      do k = 1, pver
+        if (rnd_lw(i, k) < cld(i, k)) then
+          subcol_lw(i, k) = 1.0_r8
+        else
+          subcol_lw(i, k) = 0.0_r8
+        end if
+        abs_gas(i, k) = 0.17_r8 * state%q(i, k) * state%pdel(i, k) / 1000.0_r8
+        abs_cld(i, k) = 0.3_r8 * cld(i, k)
+        abs_aer(i, k) = 2.0e-4_r8 * exp(-real(k) / pver)
+        emis_acc(i) = emis_acc(i) + abs_gas(i, k) + abs_cld(i, k) + abs_aer(i, k)
+        mcica_adj_lw(i) = mcica_adj_lw(i) + subcol_lw(i, k) * 0.04_r8
+      end do
+      emis = 1.0_r8 - exp(-emis_acc(i))
+      flwds(i) = stebol * emis * state%t(i, pver) ** 4 * (0.92_r8 + 0.08_r8 * mcica_adj_lw(i))
+      flns(i) = stebol * state%t(i, pver) ** 4 - flwds(i)
+    end do
+    do k = 1, pver
+      do i = 1, pcols
+        qrl(i, k) = -cool0 * (state%t(i, k) / 260.0_r8) ** 2 + phys_acc(k) * 1.0e-6_r8
+        tend%dtdt(i, k) = tend%dtdt(i, k) + qrl(i, k)
+      end do
+    end do
+    call outfld('flds', gmean1d(flwds))
+    call outfld('flns', gmean1d(flns))
+    call outfld('qrl', gmean2d(qrl))
+  end subroutine rad_lw_run
+end module rad_lw_mod
+|}
+  )
+
+let rad_sw _c =
+  ( "rad_sw_mod.F90",
+    {|
+module rad_sw_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use cldfrc_mod, only: cld, cltot
+  use gmean_mod
+  implicit none
+  real(r8), parameter :: scon = 1361.0_r8
+  real(r8) :: rnd_sw(pcols, pver)
+  real(r8) :: subcol_sw(pcols, pver)
+  real(r8) :: mcica_adj_sw(pcols)
+  real(r8) :: tau_acc(pcols)
+  real(r8) :: fsds(pcols)
+  real(r8) :: sols(pcols)
+  real(r8) :: qrs(pcols, pver)
+contains
+  subroutine rad_sw_run()
+    integer :: i, k
+    real(r8) :: trans
+    call random_number(rnd_sw)
+    do i = 1, pcols
+      tau_acc(i) = 0.0_r8
+      mcica_adj_sw(i) = 0.0_r8
+      do k = 1, pver
+        if (rnd_sw(i, k) < cld(i, k)) then
+          subcol_sw(i, k) = 1.0_r8
+        else
+          subcol_sw(i, k) = 0.0_r8
+        end if
+        tau_acc(i) = tau_acc(i) + 3.2_r8 * cld(i, k) + 0.08_r8 * state%q(i, k) * 100.0_r8
+        mcica_adj_sw(i) = mcica_adj_sw(i) + subcol_sw(i, k) * 0.03_r8
+      end do
+      trans = exp(-tau_acc(i) / pver)
+      fsds(i) = scon * 0.25_r8 * trans * (1.0_r8 - 0.12_r8 * mcica_adj_sw(i)) * (1.0_r8 - 0.3_r8 * cltot(i))
+      sols(i) = fsds(i) * 0.55_r8
+    end do
+    do k = 1, pver
+      do i = 1, pcols
+        qrs(i, k) = 2.0e-4_r8 * (tau_acc(i) / pver) * exp(-real(k) / pver)
+        tend%dtdt(i, k) = tend%dtdt(i, k) + qrs(i, k)
+      end do
+    end do
+    call outfld('fsds', gmean1d(fsds))
+    call outfld('sols', gmean1d(sols))
+    call outfld('qrs', gmean2d(qrs))
+  end subroutine rad_sw_run
+end module rad_sw_mod
+|}
+  )
+
+let srf_flux _c =
+  ( "srf_flux_mod.F90",
+    {|
+module srf_flux_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use gmean_mod
+  implicit none
+  real(r8), parameter :: cdrag = 1.2e-3_r8
+  real(r8) :: wind(pcols)
+  real(r8) :: tsfc(pcols)
+  real(r8) :: wsx(pcols)
+  real(r8) :: wsy(pcols)
+  real(r8) :: shf(pcols)
+  real(r8) :: tref(pcols)
+  real(r8) :: u10(pcols)
+contains
+  subroutine srf_flux_run()
+    integer :: i
+    real(r8) :: rho
+    do i = 1, pcols
+      wind(i) = sqrt(state%u(i, pver) ** 2 + state%v(i, pver) ** 2) + 0.1_r8
+      tsfc(i) = state%t(i, pver) - 1.5_r8
+      rho = state%ps(i) / (rair * state%t(i, pver))
+      wsx(i) = -cdrag * rho * wind(i) * state%u(i, pver)
+      wsy(i) = -cdrag * rho * wind(i) * state%v(i, pver)
+      shf(i) = cdrag * cpair * rho * wind(i) * (tsfc(i) - state%t(i, pver))
+      tref(i) = state%t(i, pver) + 0.2_r8 * (tsfc(i) - state%t(i, pver))
+      u10(i) = wind(i) * 0.8_r8
+    end do
+    call outfld('taux', gmean1d(wsx))
+    call outfld('tauy', gmean1d(wsy))
+    call outfld('shflx', gmean1d(shf))
+    call outfld('trefht', gmean1d(tref))
+    call outfld('u10', gmean1d(u10))
+    call outfld('ps', gmean1d(state%ps))
+  end subroutine srf_flux_run
+end module srf_flux_mod
+|}
+  )
+
+(* Land component: deliberately *not* a CAM module (the experiments that
+   restrict slices to CAM exclude it; Fig. 15 includes it). *)
+let lnd_comp _c =
+  ( "lnd_comp_mod.F90",
+    {|
+module lnd_comp_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use physconst
+  use state_mod
+  use micro_mg, only: snowl
+  use gmean_mod
+  implicit none
+  real(r8) :: snowhland(pcols)
+  real(r8) :: soilw(pcols)
+  real(r8) :: tsoil(pcols)
+contains
+  subroutine lnd_run(dt)
+    real(r8), intent(in) :: dt
+    integer :: i, landtype
+    real(r8) :: melt, soilcap
+    do i = 1, pcols
+      melt = max(state%t(i, pver) - tmelt, 0.0_r8) * 2.0e-6_r8
+      snowhland(i) = max(snowhland(i) + (snowl(i) * 10.0_r8 - melt) * dt, 0.0_r8)
+      ! surface-type dependent soil heat capacity
+      landtype = mod(i, 3)
+      select case (landtype)
+      case (0)
+        soilcap = 0.05_r8
+      case (1, 2)
+        soilcap = 0.04_r8
+      case default
+        soilcap = 0.03_r8
+      end select
+      tsoil(i) = tsoil(i) + soilcap * (state%t(i, pver) - tsoil(i))
+      soilw(i) = soilw(i) * 0.999_r8 + state%q(i, pver) * 0.01_r8
+    end do
+    call outfld('snowhlnd', gmean1d(snowhland))
+    call outfld('soilw', gmean1d(soilw))
+  end subroutine lnd_run
+end module lnd_comp_mod
+|}
+  )
+
+(* State diagnostics: the outputs whose internal counterparts live in the
+   physics_state derived type (Table 2's omega/u/v/z3/t rows). *)
+let diag_mod _c =
+  ( "diag_mod.F90",
+    {|
+module diag_mod
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  use ppgrid
+  use state_mod
+  use gmean_mod
+  implicit none
+  real(r8) :: omegat(pcols, pver)
+  real(r8) :: tmq(pcols)
+contains
+  subroutine diag_run()
+    integer :: i, k
+    do i = 1, pcols
+      tmq(i) = 0.0_r8
+      do k = 1, pver
+        omegat(i, k) = state%omega(i, k) * state%t(i, k)
+        tmq(i) = tmq(i) + state%q(i, k) * state%pdel(i, k)
+      end do
+    end do
+    call outfld('omega', gmean2d(state%omega))
+    call outfld('uu', gmean2d(state%u))
+    call outfld('vv', gmean2d(state%v))
+    call outfld('z3', gmean2d(state%zm))
+    call outfld('omegat', gmean2d(omegat))
+    call outfld('t', gmean2d(state%t))
+    call outfld('q', gmean2d(state%q))
+    call outfld('tmq', gmean1d(tmq))
+  end subroutine diag_run
+end module diag_mod
+|}
+  )

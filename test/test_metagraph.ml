@@ -1,0 +1,621 @@
+(* Tests for rca_metagraph (source -> digraph compilation) and
+   rca_coverage (execution-based filtering). *)
+
+open Rca_fortran
+module G = Rca_graph
+module MG = Rca_metagraph.Metagraph
+module Cov = Rca_coverage.Coverage
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let parse src = Parser.parse_file ~strict:false ~file:"t.F90" src
+
+let build src = MG.build (parse src)
+
+let find_node mg ~module_ ~sub ~canonical =
+  let hits =
+    List.filter
+      (fun id ->
+        let n = MG.node mg id in
+        n.MG.module_ = module_ && n.MG.subprogram = sub)
+      (MG.nodes_with_canonical mg canonical)
+  in
+  match hits with
+  | [ id ] -> id
+  | [] -> Alcotest.failf "node %s.%s.%s not found" module_ sub canonical
+  | _ -> Alcotest.failf "node %s.%s.%s ambiguous" module_ sub canonical
+
+let has_edge (mg : MG.t) a b = G.Digraph.mem_edge mg.MG.graph a b
+
+(* --- basic assignment edges ------------------------------------------------- *)
+
+let simple_assignment_edges () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: x, y, z
+contains
+  subroutine s()
+    z = x + y
+  end subroutine s
+end module m
+|}
+  in
+  let x = find_node mg ~module_:"m" ~sub:"" ~canonical:"x" in
+  let y = find_node mg ~module_:"m" ~sub:"" ~canonical:"y" in
+  let z = find_node mg ~module_:"m" ~sub:"" ~canonical:"z" in
+  check_bool "x->z" true (has_edge mg x z);
+  check_bool "y->z" true (has_edge mg y z);
+  check_bool "no z->x" false (has_edge mg z x)
+
+let locals_scoped_per_subprogram () =
+  let mg =
+    build
+      {|
+module m
+contains
+  subroutine s1()
+    real(r8) :: w
+    w = 1.0
+  end subroutine s1
+  subroutine s2()
+    real(r8) :: w
+    w = 2.0
+  end subroutine s2
+end module m
+|}
+  in
+  check_int "two distinct w nodes" 2 (List.length (MG.nodes_with_canonical mg "w"));
+  let n1 = MG.node mg (find_node mg ~module_:"m" ~sub:"s1" ~canonical:"w") in
+  check_str "unique name" "w__s1" n1.MG.unique
+
+let self_loop_for_accumulation () =
+  let mg =
+    build
+      "module m\nreal(r8) :: acc, d\ncontains\nsubroutine s()\nacc = acc + d\nend subroutine\nend module m"
+  in
+  let acc = find_node mg ~module_:"m" ~sub:"" ~canonical:"acc" in
+  check_bool "self loop" true (has_edge mg acc acc)
+
+let array_indices_ignored () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: a(10), b(10)
+  integer :: i
+contains
+  subroutine s()
+    a(i) = b(i + 1) * 2.0
+  end subroutine s
+end module m
+|}
+  in
+  let a = find_node mg ~module_:"m" ~sub:"" ~canonical:"a" in
+  let b = find_node mg ~module_:"m" ~sub:"" ~canonical:"b" in
+  check_bool "b->a" true (has_edge mg b a);
+  (* the index variable contributes no dependency at all *)
+  Alcotest.(check (list int)) "preds of a are exactly [b]" [ b ]
+    (G.Digraph.pred mg.MG.graph a)
+
+(* --- derived types ------------------------------------------------------------ *)
+
+let derived_type_canonical_names () =
+  let mg =
+    build
+      {|
+module types_m
+  type st
+    real(r8) :: omega_p(4)
+  end type st
+end module types_m
+
+module m
+  use types_m
+  type(st) :: elem
+  real(r8) :: wrk
+contains
+  subroutine s(ie)
+    integer, intent(in) :: ie
+    elem%omega_p(ie) = wrk
+  end subroutine s
+end module m
+|}
+  in
+  let om = find_node mg ~module_:"m" ~sub:"" ~canonical:"omega_p" in
+  let wrk = find_node mg ~module_:"m" ~sub:"" ~canonical:"wrk" in
+  check_bool "wrk -> omega_p" true (has_edge mg wrk om);
+  check_str "canonical" "omega_p" (MG.node mg om).MG.canonical
+
+let derived_access_shares_node_across_modules () =
+  let mg =
+    build
+      {|
+module state_m
+  type st
+    real(r8) :: t(4)
+  end type st
+  type(st) :: state
+end module state_m
+
+module writer
+  use state_m
+  real(r8) :: w
+contains
+  subroutine ws()
+    state%t(1) = w
+  end subroutine ws
+end module writer
+
+module reader
+  use state_m
+  real(r8) :: r
+contains
+  subroutine rs()
+    r = state%t(2)
+  end subroutine rs
+end module reader
+|}
+  in
+  check_int "one t node" 1 (List.length (MG.nodes_with_canonical mg "t"));
+  let t = find_node mg ~module_:"state_m" ~sub:"" ~canonical:"t" in
+  let w = find_node mg ~module_:"writer" ~sub:"" ~canonical:"w" in
+  let r = find_node mg ~module_:"reader" ~sub:"" ~canonical:"r" in
+  check_bool "w->t" true (has_edge mg w t);
+  check_bool "t->r" true (has_edge mg t r)
+
+(* --- calls ---------------------------------------------------------------------- *)
+
+let function_call_maps_args_and_result () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: inp, out
+contains
+  function f(x) result(y)
+    real(r8), intent(in) :: x
+    real(r8) :: y
+    y = x * 2.0
+  end function f
+  subroutine s()
+    out = f(inp)
+  end subroutine s
+end module m
+|}
+  in
+  let inp = find_node mg ~module_:"m" ~sub:"" ~canonical:"inp" in
+  let x = find_node mg ~module_:"m" ~sub:"f" ~canonical:"x" in
+  let y = find_node mg ~module_:"m" ~sub:"f" ~canonical:"y" in
+  let out = find_node mg ~module_:"m" ~sub:"" ~canonical:"out" in
+  check_bool "inp->x" true (has_edge mg inp x);
+  check_bool "x->y (body)" true (has_edge mg x y);
+  check_bool "y->out (result)" true (has_edge mg y out)
+
+let composite_call_structure () =
+  (* the paper's omega = alpha(b(c,d) * e(f(g+h))) example *)
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: c, d, g, h, omega
+contains
+  function alpha(x) result(r)
+    real(r8), intent(in) :: x
+    real(r8) :: r
+    r = x
+  end function alpha
+  function b(x1, x2) result(r)
+    real(r8), intent(in) :: x1, x2
+    real(r8) :: r
+    r = x1 + x2
+  end function b
+  function e(x) result(r)
+    real(r8), intent(in) :: x
+    real(r8) :: r
+    r = x
+  end function e
+  function f(x) result(r)
+    real(r8), intent(in) :: x
+    real(r8) :: r
+    r = x
+  end function f
+  subroutine s()
+    omega = alpha(b(c, d) * e(f(g + h)))
+  end subroutine s
+end module m
+|}
+  in
+  let n name sub = find_node mg ~module_:"m" ~sub ~canonical:name in
+  check_bool "g -> input(f)" true (has_edge mg (n "g" "") (n "x" "f"));
+  check_bool "h -> input(f)" true (has_edge mg (n "h" "") (n "x" "f"));
+  check_bool "output(f) -> input(e)" true (has_edge mg (n "r" "f") (n "x" "e"));
+  check_bool "c -> input1(b)" true (has_edge mg (n "c" "") (n "x1" "b"));
+  check_bool "d -> input2(b)" true (has_edge mg (n "d" "") (n "x2" "b"));
+  check_bool "output(e) -> input(alpha)" true (has_edge mg (n "r" "e") (n "x" "alpha"));
+  check_bool "output(b) -> input(alpha)" true (has_edge mg (n "r" "b") (n "x" "alpha"));
+  check_bool "output(alpha) -> omega" true (has_edge mg (n "r" "alpha") (n "omega" ""))
+
+let subroutine_call_respects_intent () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: a, b, c
+contains
+  subroutine sub(x, y, z)
+    real(r8), intent(in) :: x
+    real(r8), intent(out) :: y
+    real(r8), intent(inout) :: z
+    y = x
+    z = z + x
+  end subroutine sub
+  subroutine s()
+    call sub(a, b, c)
+  end subroutine s
+end module m
+|}
+  in
+  let n name sub = find_node mg ~module_:"m" ~sub ~canonical:name in
+  check_bool "a -> x (in)" true (has_edge mg (n "a" "") (n "x" "sub"));
+  check_bool "x -/-> a" false (has_edge mg (n "x" "sub") (n "a" ""));
+  check_bool "y -> b (out)" true (has_edge mg (n "y" "sub") (n "b" ""));
+  check_bool "b -/-> y" false (has_edge mg (n "b" "") (n "y" "sub"));
+  check_bool "c -> z (inout)" true (has_edge mg (n "c" "") (n "z" "sub"));
+  check_bool "z -> c (inout)" true (has_edge mg (n "z" "sub") (n "c" ""))
+
+let interface_maps_all_candidates () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: a, r
+  interface generic
+    module procedure impl1, impl2
+  end interface
+contains
+  function impl1(x) result(v)
+    real(r8), intent(in) :: x
+    real(r8) :: v
+    v = x
+  end function impl1
+  function impl2(x) result(v)
+    real(r8), intent(in) :: x
+    real(r8) :: v
+    v = x * 2.0
+  end function impl2
+  subroutine s()
+    r = generic(a)
+  end subroutine s
+end module m
+|}
+  in
+  let n name sub = find_node mg ~module_:"m" ~sub ~canonical:name in
+  (* conservative: both candidates connected *)
+  check_bool "a -> impl1 x" true (has_edge mg (n "a" "") (n "x" "impl1"));
+  check_bool "a -> impl2 x" true (has_edge mg (n "a" "") (n "x" "impl2"));
+  check_bool "impl1 v -> r" true (has_edge mg (n "v" "impl1") (n "r" ""));
+  check_bool "impl2 v -> r" true (has_edge mg (n "v" "impl2") (n "r" ""))
+
+let intrinsics_localized_per_line () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: a, b, c, d
+contains
+  subroutine s()
+    c = min(a, b)
+    d = min(a, c)
+  end subroutine s
+end module m
+|}
+  in
+  (* two distinct min nodes, one per call line *)
+  let mins =
+    List.filter
+      (fun id ->
+        let n = MG.node mg id in
+        String.length n.MG.canonical >= 4 && String.sub n.MG.canonical 0 4 = "min_")
+      (List.init (MG.n_nodes mg) (fun i -> i))
+  in
+  check_int "two localized min nodes" 2 (List.length mins)
+
+let use_rename_resolves () =
+  let mg =
+    build
+      {|
+module src_m
+  real(r8) :: remote_name
+end module src_m
+
+module m
+  use src_m, only: local_name => remote_name
+  real(r8) :: y
+contains
+  subroutine s()
+    y = local_name
+  end subroutine s
+end module m
+|}
+  in
+  check_int "one node for the variable" 1 (List.length (MG.nodes_with_canonical mg "remote_name"));
+  let rn = find_node mg ~module_:"src_m" ~sub:"" ~canonical:"remote_name" in
+  let y = find_node mg ~module_:"m" ~sub:"" ~canonical:"y" in
+  check_bool "edge through rename" true (has_edge mg rn y)
+
+let random_number_creates_source_node () =
+  let mg =
+    build
+      "module m\nreal(r8) :: rnd(4)\ncontains\nsubroutine s()\ncall random_number(rnd)\nend subroutine\nend module m"
+  in
+  let rnd = find_node mg ~module_:"m" ~sub:"" ~canonical:"rnd" in
+  check_bool "prng node feeds rnd" true
+    (List.exists
+       (fun p ->
+         let n = MG.node mg p in
+         String.length n.MG.canonical >= 13 && String.sub n.MG.canonical 0 13 = "random_number")
+       (G.Digraph.pred mg.MG.graph rnd))
+
+let outfld_mapping_recorded () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: flwds(4)
+contains
+  function mean(f) result(g)
+    real(r8), intent(in) :: f(4)
+    real(r8) :: g
+    g = sum(f) / 4.0
+  end function mean
+  subroutine s()
+    call outfld('flds', mean(flwds))
+  end subroutine s
+end module m
+|}
+  in
+  Alcotest.(check (list string)) "label maps to variable" [ "flwds" ]
+    (MG.io_internal_names mg "flds")
+
+let unparsed_goes_through_fallback_chain () =
+  let mg =
+    build
+      {|
+module m
+  real(r8) :: q(4), qt(4)
+contains
+  subroutine s()
+    where (q > 0.0) qt = qt + q * 0.5
+  end subroutine s
+end module m
+|}
+  in
+  (* `where` defeats the structured parser; the relaxed chain must still
+     recover identifiers.  Stage 3 (scrape) treats the first identifier as
+     the target; q -> qt edge existence depends on the stage used, so just
+     assert the statement was not dropped. *)
+  check_int "handled by a fallback" 0 mg.MG.stats.MG.unhandled;
+  check_bool "some fallback used" true
+    (mg.MG.stats.MG.parsed_relaxed + mg.MG.stats.MG.parsed_scraped > 0)
+
+let truly_hopeless_statement_counted () =
+  let prog =
+    parse
+      "module m\ncontains\nsubroutine s()\ncall weird syntax here ((\nend subroutine\nend module m"
+  in
+  let mg = MG.build prog in
+  check_bool "counted as unhandled or scraped" true
+    (mg.MG.stats.MG.unhandled + mg.MG.stats.MG.parsed_scraped >= 0)
+
+(* --- edge origins + pruning (the paper's proposed extension) ----------------- *)
+
+let edge_origins_recorded () =
+  let mg =
+    build
+      "module m\nreal(r8) :: x, y\ncontains\nsubroutine s()\ny = x * 2.0\nend subroutine\nend module m"
+  in
+  let x = find_node mg ~module_:"m" ~sub:"" ~canonical:"x" in
+  let y = find_node mg ~module_:"m" ~sub:"" ~canonical:"y" in
+  match MG.edge_origins mg x y with
+  | [ (m, sub, line) ] ->
+      check_str "module" "m" m;
+      check_str "sub" "s" sub;
+      check_bool "line recorded" true (line = 5)
+  | o -> Alcotest.failf "expected one origin, got %d" (List.length o)
+
+let prune_removes_unexecuted_edges () =
+  let src =
+    {|
+module m
+  real(r8) :: x, a, b
+contains
+  subroutine s(flag)
+    logical, intent(in) :: flag
+    if (flag) then
+      x = a
+    else
+      x = b
+    end if
+  end subroutine s
+end module m
+|}
+  in
+  let prog = parse src in
+  let mg = MG.build prog in
+  let x = find_node mg ~module_:"m" ~sub:"" ~canonical:"x" in
+  let a = find_node mg ~module_:"m" ~sub:"" ~canonical:"a" in
+  let b = find_node mg ~module_:"m" ~sub:"" ~canonical:"b" in
+  check_bool "a->x statically" true (has_edge mg a x);
+  check_bool "b->x statically" true (has_edge mg b x);
+  (* execute only the then-branch *)
+  let machine = Rca_interp.Machine.create prog in
+  let cov = Cov.create () in
+  Cov.attach cov machine;
+  ignore
+    (Rca_interp.Machine.invoke machine ~module_:"m" ~sub:"s"
+       ~args:[ Rca_interp.Machine.Vlog true ]);
+  let pruned =
+    Rca_metagraph.Prune.executed_only mg ~line_executed:(Cov.line_executed cov)
+  in
+  check_bool "a->x survives" true (has_edge pruned a x);
+  check_bool "b->x pruned" false (has_edge pruned b x);
+  let st = Rca_metagraph.Prune.prune_stats mg pruned in
+  check_int "one edge removed" (st.Rca_metagraph.Prune.edges_before - 1)
+    st.Rca_metagraph.Prune.edges_after
+
+let synthetic_flags () =
+  let mg =
+    build
+      "module m\nreal(r8) :: a, b, rnd(3)\ncontains\nsubroutine s()\nb = min(a, 1.0)\ncall random_number(rnd)\nend subroutine\nend module m"
+  in
+  let b = find_node mg ~module_:"m" ~sub:"" ~canonical:"b" in
+  check_bool "b is instrumentable" false (MG.node mg b).MG.synthetic;
+  let synth =
+    List.filter (fun id -> (MG.node mg id).MG.synthetic) (List.init (MG.n_nodes mg) (fun i -> i))
+  in
+  (* min_5 and random_number_6 *)
+  check_int "two synthetic nodes" 2 (List.length synth)
+
+(* --- coverage -------------------------------------------------------------------- *)
+
+let coverage_src =
+  {|
+module covm
+  real(r8) :: x
+contains
+  subroutine used()
+    x = 1.0
+  end subroutine used
+  subroutine never()
+    x = 2.0
+  end subroutine never
+end module covm
+
+module deadm
+  real(r8) :: y
+contains
+  subroutine also_never()
+    y = 3.0
+  end subroutine also_never
+end module deadm
+|}
+
+let coverage_filters () =
+  let prog = parse coverage_src in
+  let machine = Rca_interp.Machine.create prog in
+  let cov = Cov.create () in
+  Cov.attach cov machine;
+  ignore (Rca_interp.Machine.invoke machine ~module_:"covm" ~sub:"used" ~args:[]);
+  check_bool "module executed" true (Cov.module_executed cov "covm");
+  check_bool "dead module" false (Cov.module_executed cov "deadm");
+  check_bool "sub executed" true (Cov.subprogram_executed cov ~module_:"covm" ~sub:"used");
+  check_bool "never executed" false (Cov.subprogram_executed cov ~module_:"covm" ~sub:"never");
+  let filtered = Cov.filter_program prog cov in
+  check_int "one module kept" 1 (List.length filtered);
+  check_int "one subprogram kept" 1
+    (List.length (List.hd filtered).Rca_fortran.Ast.m_subprograms);
+  let rep = Cov.report prog cov in
+  check_int "modules total" 2 rep.Cov.modules_total;
+  check_int "subs executed" 1 rep.Cov.subprograms_executed
+
+let coverage_line_level () =
+  let src =
+    "module m\nreal(r8) :: x\ncontains\nsubroutine s(flag)\nlogical, intent(in) :: flag\nif (flag) then\nx = 1.0\nelse\nx = 2.0\nend if\nend subroutine\nend module m"
+  in
+  let prog = parse src in
+  let machine = Rca_interp.Machine.create prog in
+  let cov = Cov.create () in
+  Cov.attach cov machine;
+  ignore (Rca_interp.Machine.invoke machine ~module_:"m" ~sub:"s" ~args:[ Rca_interp.Machine.Vlog true ]);
+  check_bool "then branch line" true (Cov.line_executed cov ~module_:"m" ~sub:"s" ~line:7);
+  check_bool "else branch not" false (Cov.line_executed cov ~module_:"m" ~sub:"s" ~line:9)
+
+(* --- qcheck: metagraph structural invariants ------------------------------------- *)
+
+let synth_mg =
+  lazy
+    (let srcs = Rca_synth.Model.generate Rca_synth.Config.tiny in
+     let prog =
+       Rca_synth.Model.build_filter
+         (Rca_synth.Model.parse_program ~strict:true srcs)
+         ~driver:"cam_driver"
+     in
+     MG.build prog)
+
+let synth_model_graph_wellformed () =
+  let mg = Lazy.force synth_mg in
+  check_bool "nonempty" true (MG.n_nodes mg > 200);
+  check_bool "edges" true (G.Digraph.m mg.MG.graph > MG.n_nodes mg);
+  (* metadata arrays aligned *)
+  check_int "meta length" (MG.n_nodes mg) (Array.length mg.MG.node_meta);
+  (* canonical index covers every node *)
+  let covered = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ ids -> List.iter (fun id -> Hashtbl.replace covered id ()) ids)
+    mg.MG.by_canonical;
+  check_int "canonical index covers all" (MG.n_nodes mg) (Hashtbl.length covered);
+  check_int "all assignments handled" 0 mg.MG.stats.MG.unhandled
+
+let synth_model_io_map_matches_catalogue () =
+  let mg = Lazy.force synth_mg in
+  List.iter
+    (fun e ->
+      let internals = MG.io_internal_names mg e.Rca_synth.Outputs.output in
+      if not (List.mem e.Rca_synth.Outputs.internal internals) then
+        Alcotest.failf "output %s: expected internal %s, got [%s]"
+          e.Rca_synth.Outputs.output e.Rca_synth.Outputs.internal
+          (String.concat ", " internals))
+    Rca_synth.Outputs.catalogue
+
+let () =
+  Alcotest.run "rca_metagraph"
+    [
+      ( "assignments",
+        [
+          Alcotest.test_case "simple edges" `Quick simple_assignment_edges;
+          Alcotest.test_case "scoped locals" `Quick locals_scoped_per_subprogram;
+          Alcotest.test_case "self loop" `Quick self_loop_for_accumulation;
+          Alcotest.test_case "indices ignored" `Quick array_indices_ignored;
+        ] );
+      ( "derived types",
+        [
+          Alcotest.test_case "canonical names" `Quick derived_type_canonical_names;
+          Alcotest.test_case "shared across modules" `Quick derived_access_shares_node_across_modules;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "function args/result" `Quick function_call_maps_args_and_result;
+          Alcotest.test_case "composite example" `Quick composite_call_structure;
+          Alcotest.test_case "intent direction" `Quick subroutine_call_respects_intent;
+          Alcotest.test_case "interface candidates" `Quick interface_maps_all_candidates;
+          Alcotest.test_case "intrinsics localized" `Quick intrinsics_localized_per_line;
+        ] );
+      ( "resolution",
+        [
+          Alcotest.test_case "use renames" `Quick use_rename_resolves;
+          Alcotest.test_case "random_number source" `Quick random_number_creates_source_node;
+          Alcotest.test_case "outfld mapping" `Quick outfld_mapping_recorded;
+          Alcotest.test_case "fallback chain" `Quick unparsed_goes_through_fallback_chain;
+          Alcotest.test_case "hopeless statement" `Quick truly_hopeless_statement_counted;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "filters" `Quick coverage_filters;
+          Alcotest.test_case "line level" `Quick coverage_line_level;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "edge origins" `Quick edge_origins_recorded;
+          Alcotest.test_case "prune unexecuted" `Quick prune_removes_unexecuted_edges;
+          Alcotest.test_case "synthetic flags" `Quick synthetic_flags;
+        ] );
+      ( "synthetic model",
+        [
+          Alcotest.test_case "well-formed" `Quick synth_model_graph_wellformed;
+          Alcotest.test_case "io map vs catalogue" `Quick synth_model_io_map_matches_catalogue;
+        ] );
+    ]

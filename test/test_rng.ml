@@ -1,0 +1,244 @@
+(* Tests for the rca_rng library: stream determinism, reference values,
+   distributional sanity and the sampling helpers. *)
+
+open Rca_rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- MT19937 reference values -------------------------------------------- *)
+
+(* First outputs of MT19937 seeded with 5489 (the reference default seed),
+   from the Matsumoto–Nishimura reference implementation. *)
+let mt_reference () =
+  let mt = Mersenne.create 5489 in
+  let expected = [ 3499211612; 581869302; 3890346734; 3586334585; 545404204 ] in
+  List.iteri
+    (fun i e -> check_int (Printf.sprintf "mt19937 draw %d" i) e (Prng.next_u32 mt))
+    expected
+
+let mt_seed_1 () =
+  (* Seeded with 1, also from the reference implementation. *)
+  let mt = Mersenne.create 1 in
+  let expected = [ 1791095845; 4282876139; 3093770124; 4005303368; 491263 ] in
+  List.iteri
+    (fun i e -> check_int (Printf.sprintf "mt19937(1) draw %d" i) e (Prng.next_u32 mt))
+    expected
+
+(* --- generic stream properties ------------------------------------------- *)
+
+let generators = [ ("splitmix", Splitmix.create); ("kiss", Kiss.create); ("mt", Mersenne.create) ]
+
+let determinism () =
+  List.iter
+    (fun (name, mk) ->
+      let a = mk 42 and b = mk 42 in
+      for i = 0 to 999 do
+        check_int
+          (Printf.sprintf "%s deterministic draw %d" name i)
+          (Prng.next_u32 a) (Prng.next_u32 b)
+      done)
+    generators
+
+let reseed_restarts_stream () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk 7 in
+      let first = List.init 20 (fun _ -> Prng.next_u32 g) in
+      Prng.reseed g 7;
+      let again = List.init 20 (fun _ -> Prng.next_u32 g) in
+      check_bool (name ^ " reseed replays") true (first = again))
+    generators
+
+let distinct_seeds_distinct_streams () =
+  List.iter
+    (fun (name, mk) ->
+      let a = mk 1 and b = mk 2 in
+      let xs = List.init 50 (fun _ -> Prng.next_u32 a) in
+      let ys = List.init 50 (fun _ -> Prng.next_u32 b) in
+      check_bool (name ^ " seeds differ") true (xs <> ys))
+    generators
+
+let kiss_vs_mt_streams_differ () =
+  let k = Kiss.create 42 and m = Mersenne.create 42 in
+  let xs = List.init 50 (fun _ -> Prng.next_u32 k) in
+  let ys = List.init 50 (fun _ -> Prng.next_u32 m) in
+  check_bool "kiss <> mt" true (xs <> ys)
+
+let range_u32 () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk 99 in
+      for _ = 1 to 10_000 do
+        let x = Prng.next_u32 g in
+        if x < 0 || x > 0xFFFFFFFF then
+          Alcotest.failf "%s produced out-of-range u32 %d" name x
+      done)
+    generators
+
+(* --- derived distributions ----------------------------------------------- *)
+
+let float01_in_range () =
+  List.iter
+    (fun (name, mk) ->
+      let g = mk 3 in
+      for _ = 1 to 10_000 do
+        let x = Prng.float01 g in
+        if x < 0.0 || x >= 1.0 then Alcotest.failf "%s float01 out of range %f" name x
+      done)
+    generators
+
+let float01_mean () =
+  let g = Splitmix.create 11 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float01 g
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "uniform mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let gaussian_moments () =
+  let g = Mersenne.create 2024 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian g in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_bool "gaussian mean ~0" true (abs_float mean < 0.03);
+  check_bool "gaussian var ~1" true (abs_float (var -. 1.0) < 0.05)
+
+let int_bounds () =
+  let g = Kiss.create 5 in
+  for bound = 1 to 40 do
+    for _ = 1 to 500 do
+      let x = Prng.int g bound in
+      if x < 0 || x >= bound then Alcotest.failf "int %d out of bound %d" x bound
+    done
+  done
+
+let int_rejects_bad_bound () =
+  let g = Splitmix.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let int_covers_all_values () =
+  let g = Mersenne.create 8 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 5_000 do
+    seen.(Prng.int g 10) <- true
+  done;
+  Array.iteri (fun i b -> check_bool (Printf.sprintf "value %d seen" i) true b) seen
+
+(* --- helpers -------------------------------------------------------------- *)
+
+let shuffle_is_permutation () =
+  let g = Splitmix.create 17 in
+  let arr = Array.init 100 (fun i -> i) in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let sample_distinct () =
+  let g = Kiss.create 23 in
+  for _ = 1 to 50 do
+    let s = Prng.sample g ~n:30 ~k:10 in
+    check_int "sample size" 10 (Array.length s);
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun x ->
+        if x < 0 || x >= 30 then Alcotest.failf "sample value %d out of range" x;
+        if Hashtbl.mem tbl x then Alcotest.fail "duplicate in sample";
+        Hashtbl.replace tbl x ())
+      s
+  done
+
+let sample_k_gt_n () =
+  let g = Splitmix.create 1 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Prng.sample: k > n") (fun () ->
+      ignore (Prng.sample g ~n:3 ~k:4))
+
+let choose_from_list () =
+  let g = Splitmix.create 31 in
+  for _ = 1 to 200 do
+    let x = Prng.choose g [ 1; 2; 3 ] in
+    check_bool "member" true (List.mem x [ 1; 2; 3 ])
+  done
+
+let float_range_bounds () =
+  let g = Mersenne.create 77 in
+  for _ = 1 to 2_000 do
+    let x = Prng.float_range g (-3.0) 5.5 in
+    check_bool "in range" true (x >= -3.0 && x < 5.5)
+  done
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+let prop_int_in_bound =
+  QCheck2.Test.make ~name:"Prng.int always within bound" ~count:500
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 1_000_000))
+    (fun (bound, seed) ->
+      let g = Splitmix.create seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let prop_shuffle_preserves_multiset =
+  QCheck2.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck2.Gen.(pair (list small_int) (int_range 0 1_000_000))
+    (fun (xs, seed) ->
+      let g = Kiss.create seed in
+      let arr = Array.of_list xs in
+      Prng.shuffle g arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let prop_mix64_bijective_sample =
+  QCheck2.Test.make ~name:"splitmix mix64 injective on sample" ~count:300
+    QCheck2.Gen.(pair int int)
+    (fun (a, b) ->
+      a = b
+      || Splitmix.mix64 (Int64.of_int a) <> Splitmix.mix64 (Int64.of_int b))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_int_in_bound; prop_shuffle_preserves_multiset; prop_mix64_bijective_sample ]
+
+let () =
+  Alcotest.run "rca_rng"
+    [
+      ( "mt19937",
+        [
+          Alcotest.test_case "reference seed 5489" `Quick mt_reference;
+          Alcotest.test_case "reference seed 1" `Quick mt_seed_1;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick determinism;
+          Alcotest.test_case "reseed replays" `Quick reseed_restarts_stream;
+          Alcotest.test_case "distinct seeds" `Quick distinct_seeds_distinct_streams;
+          Alcotest.test_case "kiss vs mt differ" `Quick kiss_vs_mt_streams_differ;
+          Alcotest.test_case "u32 range" `Quick range_u32;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "float01 range" `Quick float01_in_range;
+          Alcotest.test_case "float01 mean" `Quick float01_mean;
+          Alcotest.test_case "gaussian moments" `Quick gaussian_moments;
+          Alcotest.test_case "int bounds" `Quick int_bounds;
+          Alcotest.test_case "int bad bound" `Quick int_rejects_bad_bound;
+          Alcotest.test_case "int covers values" `Quick int_covers_all_values;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "shuffle permutation" `Quick shuffle_is_permutation;
+          Alcotest.test_case "sample distinct" `Quick sample_distinct;
+          Alcotest.test_case "sample k>n" `Quick sample_k_gt_n;
+          Alcotest.test_case "choose member" `Quick choose_from_list;
+          Alcotest.test_case "float_range bounds" `Quick float_range_bounds;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,220 @@
+(* Tests for rca_synth: generation determinism, parseability, build
+   filtering, bug injections, run behaviour and the signal separations the
+   experiments rely on (IC spread << bug effects). *)
+
+open Rca_synth
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tiny = Config.tiny
+
+(* share generated sources across tests *)
+let srcs = lazy (Model.generate tiny)
+let program = lazy (Model.parse_program ~strict:true (Lazy.force srcs))
+let built = lazy (Model.build_filter (Lazy.force program) ~driver:"cam_driver")
+
+let reldiff a b = abs_float (a -. b) /. Float.max (abs_float a) 1e-300
+
+let max_reldiff v1 v2 =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (reldiff x v2.(i))) v1;
+  !m
+
+(* --- generation ------------------------------------------------------------- *)
+
+let generation_deterministic () =
+  let a = Model.generate tiny and b = Model.generate tiny in
+  check_bool "same files" true (a.Model.files = b.Model.files)
+
+let generation_scales_with_config () =
+  let small = Model.generate Config.small in
+  check_bool "more files" true
+    (List.length small.Model.files > List.length (Lazy.force srcs).Model.files);
+  check_int "module count formula" (Config.total_modules tiny)
+    (List.length (Lazy.force srcs).Model.files)
+
+let all_files_parse_strict () =
+  let prog = Lazy.force program in
+  check_int "every file yields a module" (List.length (Lazy.force srcs).Model.files)
+    (List.length prog)
+
+let no_unparsed_statements () =
+  (* tolerant parse must agree with strict parse on this source *)
+  let prog = Model.parse_program ~strict:false (Lazy.force srcs) in
+  let unparsed = ref 0 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun s ->
+          Rca_fortran.Ast.iter_stmts
+            (fun st ->
+              match st.Rca_fortran.Ast.node with
+              | Rca_fortran.Ast.Unparsed _ -> incr unparsed
+              | _ -> ())
+            s.Rca_fortran.Ast.s_body)
+        m.Rca_fortran.Ast.m_subprograms)
+    prog;
+  check_int "no unparsed" 0 !unparsed
+
+let build_filter_drops_unbuilt () =
+  let prog = Lazy.force program and b = Lazy.force built in
+  check_int "drops exactly the unbuilt modules" (List.length prog - tiny.Config.n_unbuilt)
+    (List.length b);
+  check_bool "driver kept" true
+    (List.exists (fun m -> m.Rca_fortran.Ast.m_name = "cam_driver") b);
+  check_bool "unbuilt dropped" true
+    (not (List.exists (fun m -> m.Rca_fortran.Ast.m_name = "pop_ocn_000") b))
+
+let catalogue_outputs_written () =
+  let m = Model.run_machine (Lazy.force built) (Model.default_opts tiny) in
+  List.iter
+    (fun name ->
+      match Rca_interp.Machine.history_value m name with
+      | Some v -> check_bool (name ^ " finite") true (Float.is_finite v)
+      | None -> Alcotest.failf "output %s never written" name)
+    Outputs.names
+
+(* --- run behaviour ------------------------------------------------------------- *)
+
+let runs_reproducible () =
+  let v1 = Model.run (Lazy.force built) (Model.default_opts tiny) in
+  let v2 = Model.run (Lazy.force built) (Model.default_opts tiny) in
+  check_bool "bitwise identical" true (v1 = v2)
+
+let members_differ_slightly () =
+  let v0 = Model.run (Lazy.force built) (Model.default_opts ~member:0 tiny) in
+  let v1 = Model.run (Lazy.force built) (Model.default_opts ~member:1 tiny) in
+  let d = max_reldiff v0 v1 in
+  check_bool "perturbation visible" true (d > 0.0);
+  check_bool "perturbation small" true (d < 1e-8)
+
+let fma_effect_exceeds_ensemble_spread () =
+  let opts = Model.default_opts tiny in
+  let v_off = Model.run (Lazy.force built) opts in
+  let v_on = Model.run (Lazy.force built) { opts with Model.fma = `On } in
+  let v_mem = Model.run (Lazy.force built) (Model.default_opts ~member:1 tiny) in
+  let fma_d = max_reldiff v_off v_on in
+  let ens_d = max_reldiff v_off v_mem in
+  check_bool "fma effect real" true (fma_d > 0.0);
+  check_bool "fma >> ensemble spread" true (fma_d > 100.0 *. ens_d)
+
+let fma_disable_micro_mg_removes_most () =
+  let opts = Model.default_opts tiny in
+  let v_off = Model.run (Lazy.force built) opts in
+  let v_on = Model.run (Lazy.force built) { opts with Model.fma = `On } in
+  let v_part =
+    Model.run (Lazy.force built)
+      { opts with Model.fma = `On_except [ "micro_mg"; "dyn3_mod" ] }
+  in
+  check_bool "partial disable much closer to off" true
+    (max_reldiff v_off v_part < 0.01 *. max_reldiff v_off v_on)
+
+let prng_swap_changes_radiation () =
+  let opts = Model.default_opts tiny in
+  let v_kiss = Model.run (Lazy.force built) opts in
+  let v_mt =
+    Model.run (Lazy.force built) { opts with Model.prng = Rca_rng.Mersenne.create 8191 }
+  in
+  let idx name =
+    let rec go i = function
+      | [] -> Alcotest.failf "missing %s" name
+      | n :: _ when n = name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 Outputs.names
+  in
+  check_bool "flds changes" true (reldiff v_kiss.(idx "flds") v_mt.(idx "flds") > 1e-10);
+  (* the isolated wsub path has no PRNG dependence *)
+  check_bool "wsub unchanged" true (v_kiss.(idx "wsub") = v_mt.(idx "wsub"))
+
+let injection_changes_behavior () =
+  let bugged =
+    Model.inject ~file:"microp_aero.F90" ~from_:"0.20_r8" ~to_:"2.00_r8" (Lazy.force srcs)
+  in
+  let prog = Model.build_filter (Model.parse_program ~strict:true bugged) ~driver:"cam_driver" in
+  let v_ok = Model.run (Lazy.force built) (Model.default_opts tiny) in
+  let v_bug = Model.run prog (Model.default_opts tiny) in
+  let idx name =
+    let rec go i = function
+      | [] -> Alcotest.failf "missing %s" name
+      | n :: _ when n = name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 Outputs.names
+  in
+  check_bool "wsub blows up" true (reldiff v_ok.(idx "wsub") v_bug.(idx "wsub")  > 0.5);
+  check_bool "taux untouched" true (v_ok.(idx "taux") = v_bug.(idx "taux"))
+
+let injection_missing_pattern_rejected () =
+  match Model.inject ~file:"microp_aero.F90" ~from_:"NO_SUCH_TEXT" ~to_:"x" (Lazy.force srcs) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- ensemble + ECT integration --------------------------------------------------- *)
+
+let ect_of_model_passes_and_fails () =
+  let b = Lazy.force built in
+  let ens = Model.ensemble ~members:25 b tiny in
+  let t = Rca_ect.Ect.fit ~var_names:Model.output_names ens in
+  (* consistent experimental runs: fresh members *)
+  let consistent =
+    Array.init 3 (fun i -> Model.run b (Model.default_opts ~member:(100 + i) tiny))
+  in
+  Alcotest.(check string) "consistent passes" "Pass"
+    (Rca_ect.Ect.verdict_string (Rca_ect.Ect.evaluate t consistent).Rca_ect.Ect.verdict);
+  (* FMA-enabled experimental runs *)
+  let fma =
+    Array.init 3 (fun i ->
+        Model.run b { (Model.default_opts ~member:(200 + i) tiny) with Model.fma = `On })
+  in
+  Alcotest.(check string) "fma fails" "Fail"
+    (Rca_ect.Ect.verdict_string (Rca_ect.Ect.evaluate t fma).Rca_ect.Ect.verdict)
+
+(* --- outputs catalogue ------------------------------------------------------------- *)
+
+let catalogue_consistency () =
+  check_bool "no duplicate outputs" true
+    (List.length Outputs.names = List.length (List.sort_uniq compare Outputs.names));
+  Alcotest.(check (option string)) "flds internal" (Some "flwds")
+    (Outputs.internal_of_output "flds");
+  Alcotest.(check (list string)) "wsx outputs" [ "taux" ] (Outputs.outputs_of_internal "wsx")
+
+let cam_module_classification () =
+  check_bool "micro_mg is CAM" true (Outputs.is_cam_module "micro_mg");
+  check_bool "land is not CAM" false (Outputs.is_cam_module "lnd_comp_mod");
+  check_bool "ocean is not CAM" false (Outputs.is_cam_module "pop_ocn_000")
+
+let () =
+  Alcotest.run "rca_synth"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "deterministic" `Quick generation_deterministic;
+          Alcotest.test_case "scales" `Quick generation_scales_with_config;
+          Alcotest.test_case "parses strict" `Quick all_files_parse_strict;
+          Alcotest.test_case "no unparsed" `Quick no_unparsed_statements;
+          Alcotest.test_case "build filter" `Quick build_filter_drops_unbuilt;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "outputs written" `Quick catalogue_outputs_written;
+          Alcotest.test_case "reproducible" `Quick runs_reproducible;
+          Alcotest.test_case "members differ slightly" `Quick members_differ_slightly;
+          Alcotest.test_case "fma signal" `Quick fma_effect_exceeds_ensemble_spread;
+          Alcotest.test_case "fma selective disable" `Quick fma_disable_micro_mg_removes_most;
+          Alcotest.test_case "prng swap" `Quick prng_swap_changes_radiation;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "wsub bug" `Quick injection_changes_behavior;
+          Alcotest.test_case "missing pattern" `Quick injection_missing_pattern_rejected;
+        ] );
+      ( "ect-integration",
+        [ Alcotest.test_case "pass and fail" `Slow ect_of_model_passes_and_fails ] );
+      ( "outputs",
+        [
+          Alcotest.test_case "catalogue" `Quick catalogue_consistency;
+          Alcotest.test_case "cam classification" `Quick cam_module_classification;
+        ] );
+    ]
