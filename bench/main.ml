@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- <target>
 
    Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
-            table1 table2 fig4 fig10 fig11 ablation micro
+            table1 table2 fig4 fig10 fig11 ablation micro micro-par
 
    Each experiment target regenerates the corresponding paper artifact at
    the "paper" model scale and prints the same rows/series the paper
@@ -181,6 +181,79 @@ let microbenchmarks () =
   in
   List.iter benchmark tests
 
+(* --- Parallel microbenchmark: domain-pool speedup --------------------------------------- *)
+
+(* Sequential vs pooled edge betweenness (and one Girvan–Newman step) on
+   the paper-scale GOFFGRATCH slice — the asymptotic hot path of the
+   refinement loop.  Besides timing, every parallel run is differentially
+   checked against the sequential reference: identical betweenness tables
+   (within 1e-9 relative) and identical G-N partitions. *)
+let run_micro_par () =
+  hr ();
+  ignore
+    (time "micro-par" (fun () ->
+         let fixture = Fixture.make ~inject:Experiments.goffgratch.Harness.inject config in
+         let slice = goffgratch_slice fixture in
+         let sub = Rca_core.Slice.subgraph slice in
+         let g = G.Digraph.to_undirected sub.G.Digraph.graph in
+         Printf.printf
+           "domain-pool speedup on the paper-scale GOFFGRATCH slice (%d nodes, %d arcs; \
+            %d cores visible)\n"
+           (G.Digraph.n g) (G.Digraph.m g)
+           (Domain.recommended_domain_count ());
+         let timeit f =
+           let t0 = Unix.gettimeofday () in
+           let r = f () in
+           (r, Unix.gettimeofday () -. t0)
+         in
+         let seq, t_seq = timeit (fun () -> G.Betweenness.edge_betweenness g) in
+         Printf.printf "  edge betweenness, %-12s %8.3f s   speedup 1.00x\n%!" "1 domain"
+           t_seq;
+         let tables_agree a b =
+           Hashtbl.length a = Hashtbl.length b
+           && Hashtbl.fold
+                (fun k v ok ->
+                  ok
+                  &&
+                  match Hashtbl.find_opt b k with
+                  | Some v' -> abs_float (v -. v') <= 1e-9 *. (1.0 +. abs_float v')
+                  | None -> false)
+                a true
+         in
+         List.iter
+           (fun d ->
+             G.Pool.with_pool d (fun pool ->
+                 let par, t_par = timeit (fun () -> G.Betweenness.edge_betweenness ~pool g) in
+                 Printf.printf
+                   "  edge betweenness, %-12s %8.3f s   speedup %.2fx   values %s\n%!"
+                   (string_of_int d ^ " domains")
+                   t_par (t_seq /. t_par)
+                   (if tables_agree seq par then "identical" else "MISMATCH")))
+           [ 2; 4 ];
+         (* one G-N split, sampled betweenness, partition identity at 4 domains *)
+         let (p_seq, removed_seq), t_gn_seq =
+           timeit (fun () ->
+               let s = G.Community.girvan_newman_step ~approx:64 sub.G.Digraph.graph in
+               (s.G.Community.partition, s.G.Community.removed_edges))
+         in
+         G.Pool.with_pool 4 (fun pool ->
+             let (p_par, removed_par), t_gn_par =
+               timeit (fun () ->
+                   let s =
+                     G.Community.girvan_newman_step ~approx:64 ~pool sub.G.Digraph.graph
+                   in
+                   (s.G.Community.partition, s.G.Community.removed_edges))
+             in
+             Printf.printf
+               "  G-N step (approx 64), seq %.3f s vs 4 domains %.3f s   speedup %.2fx   \
+                partitions %s\n%!"
+               t_gn_seq t_gn_par (t_gn_seq /. t_gn_par)
+               (if
+                  p_seq.G.Community.labels = p_par.G.Community.labels
+                  && removed_seq = removed_par
+                then "identical"
+                else "MISMATCH"))))
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -202,6 +275,7 @@ let run_target = function
   | "fig10" -> run_fig10 ()
   | "fig11" -> run_fig11 ()
   | "micro" -> microbenchmarks ()
+  | "micro-par" -> run_micro_par ()
   | name -> (
       match List.assoc_opt name all_experiments with
       | Some spec -> run_experiment spec
@@ -222,5 +296,6 @@ let () =
       run_fig10 ();
       run_fig11 ();
       run_ablation ();
-      microbenchmarks ()
+      microbenchmarks ();
+      run_micro_par ()
   | targets -> List.iter run_target targets

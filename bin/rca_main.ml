@@ -39,6 +39,16 @@ let members_arg =
     & opt int 20
     & info [ "members" ] ~docv:"N" ~doc:"Control ensemble size.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain-pool size for the refinement's community-detection and centrality hot \
+           paths.  1 (the default) is fully sequential; any value yields the same \
+           results.")
+
 (* --- generate ----------------------------------------------------------------- *)
 
 let generate_cmd =
@@ -127,7 +137,7 @@ let modules_cmd =
 (* --- experiment ------------------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run config members runtime name =
+  let run config members runtime domains name =
     match Experiments.find name with
     | None ->
         Printf.eprintf "unknown experiment %S (wsubbug|rand-mt|goffgratch|avx2|avx2-full|randombug|dyn3bug)\n" name;
@@ -138,6 +148,7 @@ let experiment_cmd =
             (Harness.default_params config) with
             Harness.ensemble_members = members;
             detector = (if runtime then Harness.Runtime else Harness.Simulated);
+            domains;
           }
         in
         let r = Harness.run spec p in
@@ -159,7 +170,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one paper experiment end to end")
-    Term.(const run $ scale_arg $ members_arg $ runtime_arg $ name_arg)
+    Term.(const run $ scale_arg $ members_arg $ runtime_arg $ domains_arg $ name_arg)
 
 (* --- table1 ------------------------------------------------------------------------ *)
 

@@ -14,11 +14,11 @@ type t = {
 (* Run the static pipeline: slice the metagraph on the affected outputs
    and refine with the given detector. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
-    ?gn_approx (mg : MG.t) ~outputs ~detect : t =
+    ?gn_approx ?domains (mg : MG.t) ~outputs ~detect : t =
   let slice = Slice.of_outputs ?keep_module ~min_cluster mg outputs in
   let result =
-    Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx mg
-      ~initial:slice.Slice.nodes ~detect
+    Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx ?domains
+      mg ~initial:slice.Slice.nodes ~detect
   in
   { slice; result }
 

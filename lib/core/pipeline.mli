@@ -17,13 +17,16 @@ val run :
   ?max_iterations:int ->
   ?stop_size:int ->
   ?gn_approx:int ->
+  ?domains:int ->
   MG.t ->
   outputs:string list ->
   detect:Detector.t ->
   t
 (** Slice the metagraph on the affected outputs and refine with the given
     detector.  Defaults follow the paper: residual clusters under 4 nodes
-    dropped, 10 samples per community, one G-N split per iteration. *)
+    dropped, 10 samples per community, one G-N split per iteration.
+    [domains] (default 1) parallelizes the refinement's community and
+    centrality hot paths over a domain pool without changing results. *)
 
 val name_of : MG.t -> int -> string
 val describe_nodes : MG.t -> int list -> string list

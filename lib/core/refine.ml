@@ -58,12 +58,12 @@ let ancestors_within (mg : MG.t) nodes targets =
 type partitioner = Girvan_newman | Louvain | Label_propagation
 
 let communities_of (mg : MG.t) ?gn_approx ?(min_community = 3)
-    ?(partitioner = Girvan_newman) nodes =
+    ?(partitioner = Girvan_newman) ?pool nodes =
   let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
   let partition =
     match partitioner with
     | Girvan_newman ->
-        (G.Community.girvan_newman_step ?approx:gn_approx sub.G.Digraph.graph)
+        (G.Community.girvan_newman_step ?approx:gn_approx ?pool sub.G.Digraph.graph)
           .G.Community.partition
     | Louvain -> G.Community.louvain sub.G.Digraph.graph
     | Label_propagation -> G.Community.label_propagation sub.G.Digraph.graph
@@ -75,9 +75,9 @@ let communities_of (mg : MG.t) ?gn_approx ?(min_community = 3)
    in-centrality; the alternatives support the ablation bench. *)
 type centrality_measure = Eigenvector_in | Pagerank | In_degree | Non_backtracking_in
 
-let centrality_scores measure g =
+let centrality_scores ?pool measure g =
   match measure with
-  | Eigenvector_in -> G.Centrality.eigenvector ~direction:G.Centrality.In g
+  | Eigenvector_in -> G.Centrality.eigenvector ~direction:G.Centrality.In ?pool g
   | Pagerank -> G.Centrality.pagerank g
   | In_degree -> G.Centrality.degree ~direction:G.Centrality.In g
   | Non_backtracking_in -> G.Centrality.non_backtracking ~direction:G.Centrality.In g
@@ -86,9 +86,9 @@ let centrality_scores measure g =
    community's nodes).  Synthetic nodes (localized intrinsics, PRNG
    markers) cannot be instrumented at runtime and are skipped when picking
    sampling sites. *)
-let central_nodes (mg : MG.t) ?(m_sample = 10) ?(measure = Eigenvector_in) community =
+let central_nodes (mg : MG.t) ?(m_sample = 10) ?(measure = Eigenvector_in) ?pool community =
   let sub = G.Digraph.induced_subgraph mg.MG.graph community in
-  let cent = centrality_scores measure sub.G.Digraph.graph in
+  let cent = centrality_scores ?pool measure sub.G.Digraph.graph in
   G.Centrality.top_k cent (G.Digraph.n sub.G.Digraph.graph)
   |> List.filter_map (fun (id, _) ->
          let parent = G.Digraph.sub_to_parent sub id in
@@ -134,8 +134,12 @@ let smallest_ancestry (mg : MG.t) nodes detected =
               (List.tl detected)))
 
 let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_size = 30)
-    ?gn_approx ?partitioner ?measure ?choose_when_stuck (mg : MG.t) ~initial
-    ~(detect : Detector.t) : result =
+    ?gn_approx ?partitioner ?measure ?choose_when_stuck ?(domains = 1) (mg : MG.t)
+    ~initial ~(detect : Detector.t) : result =
+  (* One pool for the whole refinement: spawned once, reused by every
+     Girvan–Newman betweenness recomputation and centrality sweep.
+     [domains <= 1] keeps today's sequential code paths byte-for-byte. *)
+  let run_with pool =
   let iterations = ref [] in
   let rec loop nodes budget =
     let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
@@ -145,14 +149,16 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
     else if budget = 0 then
       { iterations = List.rev !iterations; final_nodes = nodes; outcome = Exhausted }
     else begin
-      let communities = communities_of mg ?gn_approx ~min_community ?partitioner nodes in
+      let communities =
+        communities_of mg ?gn_approx ~min_community ?partitioner ?pool nodes
+      in
       if communities = [] then
         (* increasingly disconnected graph: no communities left to split
            (the paper's "bug not in any community" caveat) *)
         { iterations = List.rev !iterations; final_nodes = nodes; outcome = Fixed_point }
       else begin
         let sampled_by_community =
-          List.map (central_nodes mg ~m_sample ?measure) communities
+          List.map (central_nodes mg ~m_sample ?measure ?pool) communities
         in
         let sampled = List.sort_uniq compare (List.concat sampled_by_community) in
         let detected = List.sort_uniq compare (detect sampled) in
@@ -192,6 +198,9 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
     end
   in
   loop (List.sort_uniq compare initial) max_iterations
+  in
+  if domains > 1 then G.Pool.with_pool domains (fun p -> run_with (Some p))
+  else run_with None
 
 let outcome_string = function
   | Converged -> "converged"

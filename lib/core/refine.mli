@@ -36,17 +36,25 @@ val communities_of :
   ?gn_approx:int ->
   ?min_community:int ->
   ?partitioner:partitioner ->
+  ?pool:Rca_graph.Pool.t ->
   int list ->
   int list list
 (** Step 5's community split on the induced subgraph: one Girvan–Newman
-    iteration by default, or one of the alternative partitioners. *)
+    iteration by default, or one of the alternative partitioners.  [pool]
+    parallelizes the Girvan–Newman betweenness recomputations. *)
 
 type centrality_measure = Eigenvector_in | Pagerank | In_degree | Non_backtracking_in
 
-val centrality_scores : centrality_measure -> Rca_graph.Digraph.t -> float array
+val centrality_scores :
+  ?pool:Rca_graph.Pool.t -> centrality_measure -> Rca_graph.Digraph.t -> float array
 
 val central_nodes :
-  MG.t -> ?m_sample:int -> ?measure:centrality_measure -> int list -> int list
+  MG.t ->
+  ?m_sample:int ->
+  ?measure:centrality_measure ->
+  ?pool:Rca_graph.Pool.t ->
+  int list ->
+  int list
 (** The top-m central, runtime-instrumentable nodes of one community
     (step 6); eigenvector in-centrality by default. *)
 
@@ -72,6 +80,7 @@ val refine :
   ?partitioner:partitioner ->
   ?measure:centrality_measure ->
   ?choose_when_stuck:(int list -> int list -> int option) ->
+  ?domains:int ->
   MG.t ->
   initial:int list ->
   detect:Detector.t ->
@@ -79,6 +88,9 @@ val refine :
 (** Run Algorithm 5.4 from the [initial] node set: split (5), rank (6),
     sample (7), shrink by 8a (nothing detected: drop the sampled nodes'
     ancestor closure) or 8b (keep the detected nodes' ancestors), repeat
-    (9). *)
+    (9).  [domains] (default 1) sizes a domain pool — spawned once for
+    the whole refinement — that parallelizes the community-detection and
+    centrality hot paths; 1 keeps the sequential code paths byte-for-byte
+    and any value produces the same final node set. *)
 
 val outcome_string : outcome -> string

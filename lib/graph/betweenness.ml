@@ -1,14 +1,29 @@
 (* Brandes' algorithm (2001) for betweenness centrality on unweighted
    graphs, in both node and edge flavours.  Edge betweenness is the engine
-   of Girvan–Newman community detection (paper Section 5.2). *)
+   of Girvan–Newman community detection (paper Section 5.2).
+
+   Brandes is embarrassingly parallel over BFS sources: every source's
+   contribution is independent, so with a Pool.t the source set is split
+   into fixed-size chunks, each chunk accumulates into its own private
+   arrays/tables, and the per-chunk partials are merged by a deterministic
+   tree reduction in chunk order.  The chunk structure depends only on the
+   source count — never on the pool size — so every pool size >= 2
+   produces bitwise-identical results; a sequential run (no pool, or pool
+   size 1) sums per source instead of per chunk and can differ from the
+   parallel result only in the last ulps of the float accumulations. *)
 
 type accumulators = {
   node_bc : float array;
   edge_bc : (int * int, float) Hashtbl.t;
 }
 
+(* Clamped table size: an edgeless graph must not request a size-0
+   table. *)
 let create_acc g =
-  { node_bc = Array.make (Digraph.n g) 0.0; edge_bc = Hashtbl.create (2 * Digraph.m g) }
+  {
+    node_bc = Array.make (Digraph.n g) 0.0;
+    edge_bc = Hashtbl.create (max 16 (2 * Digraph.m g));
+  }
 
 let edge_add tbl key v =
   let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
@@ -53,15 +68,41 @@ let accumulate_from g acc s =
       if w <> s then acc.node_bc.(w) <- acc.node_bc.(w) +. delta.(w))
     !order
 
-let compute g =
-  let acc = create_acc g in
-  for s = 0 to Digraph.n g - 1 do
-    accumulate_from g acc s
-  done;
-  acc
+(* Fixed chunk size: part of the deterministic contract above, so it must
+   not depend on the pool size (or results would differ between pool
+   sizes). *)
+let chunk_sources = 16
 
-let node_betweenness ?(normalized = true) g =
-  let acc = compute g in
+let merge_acc into src =
+  Array.iteri (fun i v -> into.node_bc.(i) <- into.node_bc.(i) +. v) src.node_bc;
+  Hashtbl.iter (fun k v -> edge_add into.edge_bc k v) src.edge_bc;
+  into
+
+let compute_sources ?pool g sources =
+  let nsources = Array.length sources in
+  match pool with
+  | Some p when Pool.size p > 1 && nsources > 0 ->
+      let chunks = (nsources + chunk_sources - 1) / chunk_sources in
+      let partials =
+        Pool.run_chunks p ~chunks (fun c ->
+            let acc = create_acc g in
+            let lo = c * chunk_sources in
+            let hi = min nsources (lo + chunk_sources) in
+            for i = lo to hi - 1 do
+              accumulate_from g acc sources.(i)
+            done;
+            acc)
+      in
+      Option.value ~default:(create_acc g) (Pool.tree_reduce merge_acc partials)
+  | _ ->
+      let acc = create_acc g in
+      Array.iter (fun s -> accumulate_from g acc s) sources;
+      acc
+
+let compute ?pool g = compute_sources ?pool g (Array.init (Digraph.n g) Fun.id)
+
+let node_betweenness ?(normalized = true) ?pool g =
+  let acc = compute ?pool g in
   let n = float_of_int (Digraph.n g) in
   if normalized && Digraph.n g > 2 then begin
     (* Directed normalization 1/((n-1)(n-2)); for symmetrized graphs each
@@ -72,20 +113,28 @@ let node_betweenness ?(normalized = true) g =
   end
   else acc.node_bc
 
-let edge_betweenness g =
-  let acc = compute g in
+let edge_betweenness ?pool g =
+  let acc = compute ?pool g in
   acc.edge_bc
 
-(* Highest-betweenness edge of a graph, ties broken by edge order, to make
-   Girvan–Newman deterministic. *)
-let max_edge g =
-  let tbl = edge_betweenness g in
+(* Argmax comparison: a challenger must beat the incumbent by a relative
+   1e-9 margin.  The margin absorbs the last-ulp summation-order
+   differences between sequential and chunked-parallel betweenness, so
+   both pick the same edge; scores that close are treated as a tie and
+   the earliest edge in iteration order wins. *)
+let beats c ~incumbent = c > incumbent +. (1e-9 *. (1.0 +. abs_float incumbent))
+
+(* Highest-betweenness edge of a graph, near-ties broken by edge order, to
+   make Girvan–Newman deterministic across sequential and parallel
+   execution. *)
+let max_edge ?pool g =
+  let tbl = edge_betweenness ?pool g in
   let best = ref None in
   Digraph.iter_edges
     (fun u v ->
       let c = Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v)) in
       match !best with
-      | Some (_, _, c') when c' >= c -> ()
+      | Some (_, _, c') when not (beats c ~incumbent:c') -> ()
       | _ -> best := Some (u, v, c))
     g;
   !best

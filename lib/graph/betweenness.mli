@@ -1,6 +1,13 @@
 (** Brandes' algorithm (2001) for betweenness centrality on unweighted
     graphs.  Edge betweenness is the engine of Girvan–Newman community
-    detection. *)
+    detection.
+
+    Every entry point takes an optional [?pool]: with a {!Pool.t} of size
+    [>= 2] the per-source accumulation fans out across domains in
+    fixed-size source chunks whose partials are merged by a deterministic
+    tree reduction — results are bitwise-identical for every pool size
+    [>= 2] and within last-ulp float noise of the sequential path (which
+    remains byte-for-byte the historical code when no pool is given). *)
 
 type accumulators = {
   node_bc : float array;
@@ -8,19 +15,33 @@ type accumulators = {
 }
 
 val create_acc : Digraph.t -> accumulators
+(** Fresh zeroed accumulators; the edge table size is clamped to a sane
+    minimum so edgeless graphs are fine. *)
 
 val accumulate_from : Digraph.t -> accumulators -> int -> unit
 (** Add one source's shortest-path dependency contributions (the unit of
     work source-sampled estimation repeats). *)
 
-val compute : Digraph.t -> accumulators
+val compute_sources : ?pool:Pool.t -> Digraph.t -> int array -> accumulators
+(** Betweenness restricted to the given BFS sources (the building block
+    of exact and source-sampled estimation). *)
+
+val compute : ?pool:Pool.t -> Digraph.t -> accumulators
 (** Exact betweenness from every source. *)
 
-val node_betweenness : ?normalized:bool -> Digraph.t -> float array
+val node_betweenness : ?normalized:bool -> ?pool:Pool.t -> Digraph.t -> float array
 (** Node betweenness; normalized by [(n-1)(n-2)] when requested. *)
 
-val edge_betweenness : Digraph.t -> (int * int, float) Hashtbl.t
+val edge_betweenness : ?pool:Pool.t -> Digraph.t -> (int * int, float) Hashtbl.t
 (** Per-directed-edge shortest-path counts. *)
 
-val max_edge : Digraph.t -> (int * int * float) option
-(** The single highest-betweenness edge, ties broken by edge order. *)
+val beats : float -> incumbent:float -> bool
+(** Argmax comparison used for edge selection: [beats c ~incumbent] iff
+    [c] exceeds [incumbent] by a relative 1e-9 margin.  Scores closer
+    than the margin count as a tie (earliest edge wins), which keeps the
+    sequential and parallel argmax identical despite summation-order
+    float noise. *)
+
+val max_edge : ?pool:Pool.t -> Digraph.t -> (int * int * float) option
+(** The single highest-betweenness edge, near-ties broken by edge
+    order. *)

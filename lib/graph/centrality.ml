@@ -21,23 +21,59 @@ let degree ?(direction = Out) g =
 (* Eigenvector centrality by shifted power iteration, x <- x + M x with
    M = A^T for [In] (x_v accumulates from predecessors) and M = A for
    [Out].  The identity shift is the same trick NetworkX uses to force
-   convergence on graphs whose dominant eigenvalue is not unique. *)
-let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) g =
+   convergence on graphs whose dominant eigenvalue is not unique.
+
+   With [pool], each sweep switches from the sequential edge scatter to a
+   gather over per-node neighbor lists, chunked across domains.  Every
+   x'(v) is written by exactly one chunk and summed in neighbor-list
+   order, so the parallel sweep is deterministic regardless of
+   scheduling; it differs from the scatter only in float summation order
+   (last-ulp noise, damped further by the convergence tolerance). *)
+let matvec_chunk_nodes = 256
+
+let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) ?pool g =
   let n = Digraph.n g in
   if n = 0 then [||]
   else begin
+    let parallel_sweep =
+      match pool with
+      | Some p when Pool.size p > 1 ->
+          let nbrs =
+            match direction with
+            | In -> fun v -> Digraph.pred g v
+            | Out -> fun v -> Digraph.succ g v
+          in
+          let chunks = (n + matvec_chunk_nodes - 1) / matvec_chunk_nodes in
+          Some
+            (fun x x' ->
+              ignore
+                (Pool.run_chunks p ~chunks (fun c ->
+                     let lo = c * matvec_chunk_nodes in
+                     let hi = min n (lo + matvec_chunk_nodes) in
+                     for v = lo to hi - 1 do
+                       x'.(v) <-
+                         List.fold_left (fun a u -> a +. x.(u)) x.(v) (nbrs v)
+                     done)))
+      | _ -> None
+    in
+    let sweep x x' =
+      match parallel_sweep with
+      | Some f -> f x x'
+      | None ->
+          Array.blit x 0 x' 0 n;
+          Digraph.iter_edges
+            (fun u v ->
+              match direction with
+              | In -> x'.(v) <- x'.(v) +. x.(u)
+              | Out -> x'.(u) <- x'.(u) +. x.(v))
+            g
+    in
     let x = Array.make n (1.0 /. float_of_int n) in
     let x' = Array.make n 0.0 in
     let rec iterate k x x' =
       if k = 0 then x
       else begin
-        Array.blit x 0 x' 0 n;
-        Digraph.iter_edges
-          (fun u v ->
-            match direction with
-            | In -> x'.(v) <- x'.(v) +. x.(u)
-            | Out -> x'.(u) <- x'.(u) +. x.(v))
-          g;
+        sweep x x';
         let x'' = l2_normalize x' in
         let delta = ref 0.0 in
         for i = 0 to n - 1 do

@@ -10,10 +10,17 @@ val degree : ?direction:direction -> Digraph.t -> float array
 (** Degree centrality, normalized by [n-1]. *)
 
 val eigenvector :
-  ?direction:direction -> ?max_iter:int -> ?tol:float -> Digraph.t -> float array
+  ?direction:direction ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?pool:Pool.t ->
+  Digraph.t ->
+  float array
 (** Eigenvector centrality by shifted power iteration (x <- x + Mx, the
     NetworkX convergence trick), L2-normalized.  [In] accumulates from
-    predecessors (information sinks), [Out] from successors. *)
+    predecessors (information sinks), [Out] from successors.  [pool]
+    parallelizes the matvec sweep (deterministic gather over node
+    chunks). *)
 
 val katz :
   ?direction:direction -> ?alpha:float -> ?max_iter:int -> ?tol:float -> Digraph.t -> float array

@@ -66,22 +66,21 @@ let modularity g p =
 (* Edge betweenness with optional source sampling.  When [approx] is
    [Some k] and the graph has more than k nodes, betweenness is estimated
    from k evenly spaced BFS sources (deterministic, so results are
-   reproducible). *)
-let edge_betweenness_sampled ?approx g =
+   reproducible).  [pool] fans the per-source accumulation out across
+   domains (see Betweenness). *)
+let edge_betweenness_sampled ?approx ?pool g =
   let n = Digraph.n g in
   let sources =
     match approx with
     | Some k when n > k && k > 0 ->
         let step = float_of_int n /. float_of_int k in
-        List.init k (fun i -> int_of_float (float_of_int i *. step))
-    | _ -> List.init n (fun i -> i)
+        Array.init k (fun i -> int_of_float (float_of_int i *. step))
+    | _ -> Array.init n (fun i -> i)
   in
-  let acc = Betweenness.create_acc g in
-  List.iter (fun s -> Betweenness.accumulate_from g acc s) sources;
-  acc.Betweenness.edge_bc
+  (Betweenness.compute_sources ?pool g sources).Betweenness.edge_bc
 
-let max_betweenness_edge ?approx g =
-  let tbl = edge_betweenness_sampled ?approx g in
+let max_betweenness_edge ?approx ?pool g =
+  let tbl = edge_betweenness_sampled ?approx ?pool g in
   let best = ref None in
   Digraph.iter_edges
     (fun u v ->
@@ -93,7 +92,7 @@ let max_betweenness_edge ?approx g =
           +. Option.value ~default:0.0 (Hashtbl.find_opt tbl (v, u))
         in
         match !best with
-        | Some (_, _, c') when c' >= c -> ()
+        | Some (_, _, c') when not (Betweenness.beats c ~incumbent:c') -> ()
         | _ -> best := Some (u, v, c)
       end)
     g;
@@ -108,7 +107,7 @@ type gn_step = {
    remove top-betweenness edges until the weak component count increases.
    [max_removals] bounds the work; if reached, the current partition is
    returned as-is. *)
-let girvan_newman_step ?approx ?(max_removals = 2000) g =
+let girvan_newman_step ?approx ?pool ?(max_removals = 2000) g =
   let work = Digraph.to_undirected g in
   let initial = Components.count_weakly_connected work in
   let removed = ref [] in
@@ -116,7 +115,7 @@ let girvan_newman_step ?approx ?(max_removals = 2000) g =
     if budget = 0 then ()
     else if Components.count_weakly_connected work > initial then ()
     else
-      match max_betweenness_edge ?approx work with
+      match max_betweenness_edge ?approx ?pool work with
       | None -> ()
       | Some (u, v, _) ->
           Digraph.remove_edge work u v;
@@ -129,13 +128,13 @@ let girvan_newman_step ?approx ?(max_removals = 2000) g =
 
 (* Run G-N until at least [target] communities exist (or no edges remain).
    Returns the partition at the first point the target is met. *)
-let girvan_newman ?approx ?(max_removals = 2000) ~target g =
+let girvan_newman ?approx ?pool ?(max_removals = 2000) ~target g =
   let work = Digraph.to_undirected g in
   let rec loop budget =
     let p = of_components work in
     if community_count p >= target || Digraph.m work = 0 || budget <= 0 then p
     else
-      match max_betweenness_edge ?approx work with
+      match max_betweenness_edge ?approx ?pool work with
       | None -> p
       | Some (u, v, _) ->
           Digraph.remove_edge work u v;

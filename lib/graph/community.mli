@@ -20,24 +20,31 @@ val modularity : Digraph.t -> partition -> float
 (** Newman–Girvan modularity [Q] on a symmetrized digraph. *)
 
 val edge_betweenness_sampled :
-  ?approx:int -> Digraph.t -> (int * int, float) Hashtbl.t
+  ?approx:int -> ?pool:Pool.t -> Digraph.t -> (int * int, float) Hashtbl.t
 (** Edge betweenness, exact or estimated from [approx] evenly spaced BFS
-    sources (deterministic). *)
+    sources (deterministic).  [pool] fans the per-source accumulation out
+    across domains. *)
 
-val max_betweenness_edge : ?approx:int -> Digraph.t -> (int * int * float) option
-(** Highest-betweenness undirected edge of a symmetrized graph. *)
+val max_betweenness_edge :
+  ?approx:int -> ?pool:Pool.t -> Digraph.t -> (int * int * float) option
+(** Highest-betweenness undirected edge of a symmetrized graph; near-ties
+    (relative 1e-9) broken by edge order so sequential and parallel runs
+    agree. *)
 
 type gn_step = {
   partition : partition;
   removed_edges : (int * int) list;
 }
 
-val girvan_newman_step : ?approx:int -> ?max_removals:int -> Digraph.t -> gn_step
+val girvan_newman_step :
+  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> Digraph.t -> gn_step
 (** One Girvan–Newman iteration on a symmetrized copy: remove
     top-betweenness edges until the weak component count increases.
-    [max_removals] bounds the work. *)
+    [max_removals] bounds the work; [pool] parallelizes each betweenness
+    recomputation without changing the partition. *)
 
-val girvan_newman : ?approx:int -> ?max_removals:int -> target:int -> Digraph.t -> partition
+val girvan_newman :
+  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> target:int -> Digraph.t -> partition
 (** Iterate until at least [target] communities exist (or edges run out). *)
 
 val label_propagation : ?seed:int -> ?max_sweeps:int -> Digraph.t -> partition

@@ -1,0 +1,137 @@
+(* Fixed-size domain pool.
+
+   The pool owns [size - 1] worker domains that block on a condition
+   variable between batches.  A batch installs one participation closure;
+   the caller and every worker run it concurrently, stealing chunk ids
+   from a shared atomic counter, and the caller waits until every worker
+   has checked back in.  Mutex acquire/release around the check-in gives
+   the happens-before edge that makes the workers' chunk results visible
+   to the caller.
+
+   Determinism: results are stored per chunk id and reduced in chunk
+   order, so the outcome is a function of the chunk structure alone —
+   which domain ran a chunk, and when, cannot influence it. *)
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;  (* participation fn of the current batch *)
+  mutable epoch : int;  (* bumped once per batch *)
+  mutable running : int;  (* workers still inside the current batch *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Each worker remembers the epoch it last served so a batch submitted
+   while it was checking back in is picked up without a lost wakeup. *)
+let rec worker_loop t last_epoch =
+  Mutex.lock t.m;
+  while (not t.stop) && t.epoch = last_epoch do
+    Condition.wait t.work_available t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let epoch = t.epoch in
+    let job = match t.job with Some j -> j | None -> fun () -> () in
+    Mutex.unlock t.m;
+    (try job () with _ -> ());
+    Mutex.lock t.m;
+    t.running <- t.running - 1;
+    if t.running = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.m;
+    worker_loop t epoch
+  end
+
+let create k =
+  let size = max 1 k in
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      running = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let size t = t.size
+
+(* Run [body] on the caller and every worker; return once all are done.
+   Workers swallow exceptions ([run_chunks] records them itself); the
+   caller's exception propagates, but only after the barrier. *)
+let run_job t body =
+  if t.domains = [] then body ()
+  else begin
+    Mutex.lock t.m;
+    t.job <- Some body;
+    t.running <- List.length t.domains;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        while t.running > 0 do
+          Condition.wait t.work_done t.m
+        done;
+        t.job <- None;
+        Mutex.unlock t.m)
+      body
+  end
+
+let run_chunks t ~chunks f =
+  if chunks <= 0 then [||]
+  else begin
+    let results = Array.make chunks None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let participate () =
+      let continue_ = ref true in
+      while !continue_ do
+        let c = Atomic.fetch_and_add next 1 in
+        if c >= chunks then continue_ := false
+        else
+          match f c with
+          | r -> results.(c) <- Some r
+          | exception e ->
+              ignore (Atomic.compare_and_set failure None (Some e));
+              (* starve the other participants of further chunks *)
+              Atomic.set next chunks
+      done
+    in
+    run_job t participate;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let tree_reduce f arr =
+  let rec reduce a =
+    let m = Array.length a in
+    if m = 1 then a.(0)
+    else
+      reduce
+        (Array.init ((m + 1) / 2) (fun i ->
+             if (2 * i) + 1 < m then f a.(2 * i) a.((2 * i) + 1) else a.(2 * i)))
+  in
+  if Array.length arr = 0 then None else Some (reduce arr)
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ds = t.domains in
+  t.domains <- [];
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.m;
+  List.iter Domain.join ds
+
+let with_pool k f =
+  let t = create k in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

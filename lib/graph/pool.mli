@@ -1,0 +1,40 @@
+(** A reusable fixed-size domain pool for the data-parallel graph kernels.
+
+    [create k] spawns [k - 1] worker domains once; every later batch
+    reuses them (spawning a domain costs far more than a Brandes source).
+    Work is handed out by chunked work-stealing over a shared atomic chunk
+    index, and per-chunk results are combined by a deterministic tree
+    reduction in chunk order — a computation's result depends only on the
+    chunk structure, never on which domain ran which chunk or in what
+    order.  With a fixed chunk structure the same inputs therefore produce
+    bitwise-identical outputs at every pool size [>= 2]. *)
+
+type t
+
+val create : int -> t
+(** [create k] is a pool of [k] ways of parallelism: the calling domain
+    plus [max 0 (k - 1)] worker domains.  [k < 1] is clamped to 1 (no
+    workers; every batch runs inline on the caller). *)
+
+val size : t -> int
+(** Ways of parallelism (the [k] given to {!create}, clamped). *)
+
+val run_chunks : t -> chunks:int -> (int -> 'a) -> 'a array
+(** [run_chunks t ~chunks f] evaluates [f c] for every chunk id
+    [0 <= c < chunks] — the caller and all workers steal chunk ids from a
+    shared atomic counter — and returns the results indexed by chunk id.
+    [f] must be safe to call from any domain.  The first exception raised
+    by [f] is re-raised on the caller after all domains have stopped. *)
+
+val tree_reduce : ('a -> 'a -> 'a) -> 'a array -> 'a option
+(** Deterministic pairwise tree reduction: adjacent pairs are combined
+    repeatedly, so the combination shape depends only on the array
+    length.  [None] on an empty array.  Runs on the caller. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool must not be used for
+    further batches afterwards. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool k f] runs [f] with a fresh pool of [k] ways and shuts the
+    pool down when [f] returns or raises. *)

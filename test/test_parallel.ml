@@ -1,0 +1,311 @@
+(* Differential + property-test lockdown of the domain-pool parallel
+   centrality paths (Pool, Betweenness ?pool, Community ?pool,
+   Centrality.eigenvector ?pool, Refine ?domains).
+
+   Parallel reductions are a classic source of silent nondeterminism, so
+   every parallel code path is tested three ways:
+   - differentially against the sequential reference (floats within 1e-9,
+     partitions identical), including the edge cases: empty graph,
+     edgeless graph, disconnected graph, self-loops;
+   - for determinism: the same parallel computation run twice, and run at
+     different domain counts (2 vs 4), must agree bitwise — the fixed
+     chunk structure plus chunk-ordered tree reduction guarantees it;
+   - end to end: Refine.refine ~domains:4 must reproduce the sequential
+     final node set on the tiny model fixture. *)
+
+open Rca_graph
+
+(* Spawn the pools once for the whole suite — the pool is designed to be
+   reused, and these tests exercise exactly that. *)
+let pool2 = Pool.create 2
+let pool4 = Pool.create 4
+let () = at_exit (fun () -> Pool.shutdown pool2; Pool.shutdown pool4)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- comparison helpers ------------------------------------------------------- *)
+
+let close ?(eps = 1e-9) a b = abs_float (a -. b) <= eps *. (1.0 +. abs_float b)
+
+let float_arrays_close ?eps a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if not (close ?eps x b.(i)) then ok := false) a;
+      !ok)
+
+let table_sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let tables_close ?eps a b =
+  let a = table_sorted a and b = table_sorted b in
+  List.length a = List.length b
+  && List.for_all2 (fun (k, v) (k', v') -> k = k' && close ?eps v v') a b
+
+(* --- Pool unit tests ----------------------------------------------------------- *)
+
+let pool_size_clamped () =
+  Pool.with_pool 0 (fun p -> check_int "clamped to 1" 1 (Pool.size p));
+  check_int "pool2" 2 (Pool.size pool2);
+  check_int "pool4" 4 (Pool.size pool4)
+
+let pool_run_chunks_in_order () =
+  (* results must come back indexed by chunk id, whatever the schedule *)
+  let r = Pool.run_chunks pool4 ~chunks:100 (fun c -> c * c) in
+  check_int "100 chunks" 100 (Array.length r);
+  Array.iteri (fun i v -> check_int "chunk result in slot" (i * i) v) r;
+  Alcotest.(check (array int)) "zero chunks" [||] (Pool.run_chunks pool4 ~chunks:0 (fun c -> c))
+
+let pool_run_chunks_more_chunks_than_domains () =
+  (* all chunks are processed even when they outnumber the domains *)
+  let total = Atomic.make 0 in
+  ignore
+    (Pool.run_chunks pool2 ~chunks:37 (fun c -> Atomic.fetch_and_add total c));
+  check_int "sum of chunk ids" (37 * 36 / 2) (Atomic.get total)
+
+let pool_propagates_exception () =
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "chunk 3") (fun () ->
+      ignore
+        (Pool.run_chunks pool4 ~chunks:8 (fun c ->
+             if c = 3 then failwith "chunk 3" else c)));
+  (* and the pool is still usable afterwards *)
+  let r = Pool.run_chunks pool4 ~chunks:4 (fun c -> c + 1) in
+  Alcotest.(check (array int)) "pool alive after exception" [| 1; 2; 3; 4 |] r
+
+let pool_tree_reduce_deterministic () =
+  Alcotest.(check (option int)) "empty" None (Pool.tree_reduce ( + ) [||]);
+  Alcotest.(check (option int)) "singleton" (Some 7) (Pool.tree_reduce ( + ) [| 7 |]);
+  Alcotest.(check (option int)) "sum" (Some 15) (Pool.tree_reduce ( + ) [| 1; 2; 4; 8 |]);
+  (* the reduction shape is fixed: record the combination order via strings *)
+  let shape =
+    Pool.tree_reduce (fun a b -> "(" ^ a ^ b ^ ")") [| "a"; "b"; "c"; "d"; "e" |]
+  in
+  Alcotest.(check (option string)) "fixed shape" (Some "(((ab)(cd))e)") shape
+
+let with_pool_shuts_down () =
+  (* with_pool must shut the pool down even when the body raises *)
+  Alcotest.check_raises "body exception propagates" (Failure "boom") (fun () ->
+      Pool.with_pool 3 (fun p ->
+          ignore (Pool.run_chunks p ~chunks:2 (fun c -> c));
+          failwith "boom"))
+
+(* --- edge-case unit tests (empty / edgeless / disconnected / self-loops) ------- *)
+
+let empty_graph_all_paths () =
+  let g = Digraph.create () in
+  Alcotest.(check (array (float 1e-12))) "node bc" [||]
+    (Betweenness.node_betweenness ~pool:pool4 g);
+  check_int "edge bc" 0 (Hashtbl.length (Betweenness.edge_betweenness ~pool:pool4 g));
+  Alcotest.(check (array (float 1e-12))) "eigenvector" [||]
+    (Centrality.eigenvector ~pool:pool4 g);
+  let step = Community.girvan_newman_step ~pool:pool4 g in
+  check_int "no communities" 0 (Community.community_count step.Community.partition)
+
+(* The Betweenness.create_acc regression: an edgeless graph used to
+   request a size-0 table (2 * m = 0); the size is now clamped. *)
+let edgeless_graph_betweenness () =
+  let g = Digraph.of_edges ~n:5 [] in
+  check_int "m" 0 (Digraph.m g);
+  let acc = Betweenness.create_acc g in
+  check_int "acc nodes" 5 (Array.length acc.Betweenness.node_bc);
+  check_int "acc edges empty" 0 (Hashtbl.length acc.Betweenness.edge_bc);
+  let seq = Betweenness.node_betweenness ~normalized:false g in
+  let par = Betweenness.node_betweenness ~normalized:false ~pool:pool4 g in
+  Alcotest.(check (array (float 1e-12))) "all zero seq" (Array.make 5 0.0) seq;
+  Alcotest.(check (array (float 1e-12))) "all zero par" (Array.make 5 0.0) par;
+  check_int "no edges scored" 0 (Hashtbl.length (Betweenness.edge_betweenness ~pool:pool2 g))
+
+let disconnected_graph_partition () =
+  (* two triangles plus an isolated node *)
+  let g =
+    Digraph.of_edges ~n:7 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+  in
+  let seq = Community.girvan_newman ~target:3 g in
+  let par = Community.girvan_newman ~target:3 ~pool:pool4 g in
+  Alcotest.(check (array int)) "labels identical" seq.Community.labels par.Community.labels;
+  check_bool "betweenness agrees" true
+    (tables_close (Betweenness.edge_betweenness g) (Betweenness.edge_betweenness ~pool:pool4 g))
+
+let self_loop_graph_differential () =
+  let g = Digraph.of_edges ~n:4 [ (0, 0); (0, 1); (1, 2); (2, 2); (2, 3); (3, 3) ] in
+  let seq = Betweenness.node_betweenness ~normalized:false g in
+  let par = Betweenness.node_betweenness ~normalized:false ~pool:pool2 g in
+  check_bool "node bc agrees" true (float_arrays_close seq par);
+  check_bool "edge bc agrees" true
+    (tables_close (Betweenness.edge_betweenness g) (Betweenness.edge_betweenness ~pool:pool2 g))
+
+(* --- QCheck differential properties -------------------------------------------- *)
+
+(* Random digraphs via Gen.gnm, optionally decorated with self-loops. *)
+let graph_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 40 in
+    let* m = int_range 0 (n * 3) in
+    let* seed = int_range 0 1_000_000 in
+    let* loops = list_size (int_range 0 3) (int_range 0 (n - 1)) in
+    return
+      (let g = Gen.gnm ~seed ~n ~m in
+       List.iter (fun v -> Digraph.add_edge g v v) loops;
+       g))
+
+let pools = [ ("2 domains", pool2); ("4 domains", pool4) ]
+
+let prop_node_betweenness_differential =
+  QCheck2.Test.make ~name:"parallel node betweenness = sequential (1e-9)" ~count:60
+    graph_gen (fun g ->
+      let seq = Betweenness.node_betweenness ~normalized:false g in
+      List.for_all
+        (fun (_, pool) ->
+          float_arrays_close seq (Betweenness.node_betweenness ~normalized:false ~pool g))
+        pools)
+
+let prop_edge_betweenness_differential =
+  QCheck2.Test.make ~name:"parallel edge betweenness = sequential (1e-9)" ~count:60
+    graph_gen (fun g ->
+      let seq = Betweenness.edge_betweenness g in
+      List.for_all
+        (fun (_, pool) -> tables_close seq (Betweenness.edge_betweenness ~pool g))
+        pools)
+
+let prop_girvan_newman_differential =
+  QCheck2.Test.make ~name:"parallel Girvan-Newman partition = sequential" ~count:40
+    graph_gen (fun g ->
+      let seq = Community.girvan_newman ~target:2 g in
+      List.for_all
+        (fun (_, pool) ->
+          let par = Community.girvan_newman ~target:2 ~pool g in
+          seq.Community.labels = par.Community.labels
+          && seq.Community.communities = par.Community.communities)
+        pools)
+
+let prop_girvan_newman_approx_differential =
+  QCheck2.Test.make ~name:"parallel sampled G-N partition = sequential" ~count:40
+    graph_gen (fun g ->
+      let seq = Community.girvan_newman_step ~approx:8 g in
+      List.for_all
+        (fun (_, pool) ->
+          let par = Community.girvan_newman_step ~approx:8 ~pool g in
+          seq.Community.partition.Community.labels
+            = par.Community.partition.Community.labels
+          && seq.Community.removed_edges = par.Community.removed_edges)
+        pools)
+
+let prop_eigenvector_differential =
+  QCheck2.Test.make ~name:"parallel eigenvector = sequential (1e-6)" ~count:60 graph_gen
+    (fun g ->
+      let seq = Centrality.eigenvector ~direction:Centrality.In g in
+      List.for_all
+        (fun (_, pool) ->
+          float_arrays_close ~eps:1e-6 seq
+            (Centrality.eigenvector ~direction:Centrality.In ~pool g))
+        pools)
+
+(* --- determinism regressions ---------------------------------------------------- *)
+
+(* The same parallel computation, run twice and at different domain
+   counts, must agree bitwise: work-stealing decides who computes a
+   chunk, never what is computed or in which order it is merged. *)
+let prop_parallel_bitwise_deterministic =
+  QCheck2.Test.make ~name:"parallel runs bitwise-identical (repeat + 2 vs 4 domains)"
+    ~count:40 graph_gen (fun g ->
+      let eb pool = table_sorted (Betweenness.edge_betweenness ~pool g) in
+      let bc pool = Betweenness.node_betweenness ~normalized:false ~pool g in
+      let labels pool = (Community.girvan_newman ~target:2 ~pool g).Community.labels in
+      eb pool4 = eb pool4
+      && eb pool2 = eb pool4
+      && bc pool2 = bc pool4
+      && labels pool4 = labels pool4
+      && labels pool2 = labels pool4)
+
+let gn_labels_stable_across_runs () =
+  let g = Gen.two_clusters ~seed:11 ~size:10 ~p_intra:0.4 ~bridges:2 in
+  let run pool = (Community.girvan_newman_step ~pool g).Community.partition.Community.labels in
+  let first = run pool4 in
+  for _ = 1 to 5 do
+    Alcotest.(check (array int)) "labels bitwise stable" first (run pool4)
+  done;
+  Alcotest.(check (array int)) "2 domains = 4 domains" first (run pool2)
+
+(* --- Refine end-to-end ------------------------------------------------------------ *)
+
+module Fixture = Rca_experiments.Fixture
+
+let tiny_fixture = lazy (Fixture.make Rca_synth.Config.tiny)
+
+let refine_result ?gn_approx ?domains detect =
+  let fixture = Lazy.force tiny_fixture in
+  let mg = fixture.Fixture.mg in
+  let slice = Rca_core.Slice.of_outputs mg [ "aqsnow"; "cloud" ] in
+  Rca_core.Refine.refine ?gn_approx ?domains mg ~initial:slice.Rca_core.Slice.nodes
+    ~detect ~stop_size:2 ~max_iterations:3
+
+let refine_domains_matches_sequential () =
+  let seq = refine_result Rca_core.Detector.never in
+  let par = refine_result ~domains:4 Rca_core.Detector.never in
+  Alcotest.(check (list int)) "final nodes" seq.Rca_core.Refine.final_nodes
+    par.Rca_core.Refine.final_nodes;
+  check_bool "same outcome" true
+    (seq.Rca_core.Refine.outcome = par.Rca_core.Refine.outcome);
+  Alcotest.(check (list (list int))) "same sampling trace"
+    (List.map (fun it -> it.Rca_core.Refine.sampled) seq.Rca_core.Refine.iterations)
+    (List.map (fun it -> it.Rca_core.Refine.sampled) par.Rca_core.Refine.iterations)
+
+let refine_domains_matches_sequential_approx () =
+  (* the sampled-betweenness configuration the paper-scale harness uses *)
+  let seq = refine_result ~gn_approx:16 Rca_core.Detector.never in
+  let par = refine_result ~gn_approx:16 ~domains:2 Rca_core.Detector.never in
+  Alcotest.(check (list int)) "final nodes" seq.Rca_core.Refine.final_nodes
+    par.Rca_core.Refine.final_nodes
+
+let refine_domains_deterministic () =
+  let a = refine_result ~domains:4 Rca_core.Detector.never in
+  let b = refine_result ~domains:4 Rca_core.Detector.never in
+  Alcotest.(check (list int)) "two parallel runs identical"
+    a.Rca_core.Refine.final_nodes b.Rca_core.Refine.final_nodes
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_node_betweenness_differential;
+      prop_edge_betweenness_differential;
+      prop_girvan_newman_differential;
+      prop_girvan_newman_approx_differential;
+      prop_eigenvector_differential;
+      prop_parallel_bitwise_deterministic;
+    ]
+
+let () =
+  Alcotest.run "rca_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "size clamped" `Quick pool_size_clamped;
+          Alcotest.test_case "chunks in order" `Quick pool_run_chunks_in_order;
+          Alcotest.test_case "chunks > domains" `Quick pool_run_chunks_more_chunks_than_domains;
+          Alcotest.test_case "exception propagation" `Quick pool_propagates_exception;
+          Alcotest.test_case "tree reduce" `Quick pool_tree_reduce_deterministic;
+          Alcotest.test_case "with_pool cleanup" `Quick with_pool_shuts_down;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "empty graph" `Quick empty_graph_all_paths;
+          Alcotest.test_case "edgeless graph (create_acc clamp)" `Quick
+            edgeless_graph_betweenness;
+          Alcotest.test_case "disconnected graph" `Quick disconnected_graph_partition;
+          Alcotest.test_case "self loops" `Quick self_loop_graph_differential;
+        ] );
+      ("differential", qcheck_cases);
+      ( "determinism",
+        [
+          Alcotest.test_case "G-N labels stable across runs" `Quick
+            gn_labels_stable_across_runs;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "domains:4 = sequential" `Quick refine_domains_matches_sequential;
+          Alcotest.test_case "domains:2 + approx = sequential" `Quick
+            refine_domains_matches_sequential_approx;
+          Alcotest.test_case "domains:4 deterministic" `Quick refine_domains_deterministic;
+        ] );
+    ]
