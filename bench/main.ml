@@ -5,13 +5,18 @@
      dune exec bench/main.exe -- <target>
 
    Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
-            table1 table2 fig4 fig10 fig11 ablation micro micro-par
+            table1 table2 fig4 fig10 fig11 ablation micro micro-par gn
+
+   Flags: --json PATH     write the `gn` target's telemetry as JSON
+          --domains N     pool size for the parallel `gn` runs (default 4)
 
    Each experiment target regenerates the corresponding paper artifact at
    the "paper" model scale and prints the same rows/series the paper
    reports: slice sizes, community structure, sampled central nodes,
    detection outcomes, failure-rate tables and degree distributions.  The
-   `micro` target runs Bechamel timings of the pipeline stages. *)
+   `micro` target runs Bechamel timings of the pipeline stages; `gn`
+   benchmarks exact Girvan–Newman (reference vs component-incremental
+   CSR engine, sequential and pooled) on a clustered fixture. *)
 
 open Rca_experiments
 module MG = Rca_metagraph.Metagraph
@@ -254,6 +259,117 @@ let run_micro_par () =
                 then "identical"
                 else "MISMATCH"))))
 
+(* --- Girvan-Newman engine benchmark (gn) ------------------------------------------------ *)
+
+(* Exact G-N to >= 8 communities on a clustered fixture: the reference
+   engine (full betweenness recomputation per removal) vs the
+   component-incremental CSR engine, sequentially and on a domain pool.
+   Every run is differentially checked against the reference (identical
+   removal sequences and partitions) before any speedup is reported;
+   with --json PATH the telemetry is also written as a JSON artifact. *)
+
+(* [clusters] gnm blobs of [size] nodes chained by [bridges] edges per
+   consecutive pair: G-N must cut the bridges (highest betweenness)
+   before anything else, so reaching [clusters - 2] extra components
+   takes a long, measurable removal sequence. *)
+let gn_fixture ~clusters ~size ~intra_m ~bridges =
+  let edges = ref [] in
+  for c = 0 to clusters - 1 do
+    let base = c * size in
+    let blob = G.Gen.gnm ~seed:(41 + c) ~n:size ~m:intra_m in
+    G.Digraph.iter_edges (fun u v -> edges := (base + u, base + v) :: !edges) blob;
+    if c < clusters - 1 then
+      for b = 0 to bridges - 1 do
+        (* distinct endpoints per bridge keep the bridges independent *)
+        edges := (base + b, base + size + b) :: !edges
+      done
+  done;
+  G.Digraph.of_edges ~n:(clusters * size) (List.rev !edges)
+
+let json_escape s =
+  String.concat "" (List.map (fun c ->
+      match c with
+      | '"' -> "\\\"" | '\\' -> "\\\\"
+      | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+      | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let run_gn_bench ~json ~domains () =
+  hr ();
+  ignore
+    (time "gn" (fun () ->
+         let clusters = 10 and size = 80 and intra_m = 300 and bridges = 2 in
+         let target = 8 in
+         let g = gn_fixture ~clusters ~size ~intra_m ~bridges in
+         let und = G.Digraph.to_undirected g in
+         Printf.printf
+           "exact Girvan-Newman to %d communities: reference vs component-incremental CSR\n"
+           target;
+         Printf.printf
+           "  fixture: %d clusters of %d nodes, %d nodes / %d arcs symmetrized (%d cores \
+            visible)\n%!"
+           clusters size (G.Digraph.n und) (G.Digraph.m und)
+           (Domain.recommended_domain_count ());
+         let timeit f =
+           let t0 = Unix.gettimeofday () in
+           let r = f () in
+           (r, Unix.gettimeofday () -. t0)
+         in
+         let reference, t_ref =
+           timeit (fun () -> G.Community.girvan_newman_reference ~target g)
+         in
+         let agrees (r : G.Community.gn_step) =
+           r.G.Community.removed_edges = reference.G.Community.removed_edges
+           && r.G.Community.partition.G.Community.labels
+              = reference.G.Community.partition.G.Community.labels
+         in
+         let runs = ref [] in
+         let record name dom t identical =
+           runs := (name, dom, t, t_ref /. t, identical) :: !runs;
+           Printf.printf "  %-28s %8.3f s   speedup %5.2fx   removals/partition %s\n%!"
+             name t (t_ref /. t)
+             (if identical then "identical" else "MISMATCH")
+         in
+         record "reference-seq" 1 t_ref true;
+         let inc_seq, t_inc = timeit (fun () -> G.Community.girvan_newman ~target g) in
+         record "incremental-seq" 1 t_inc (agrees inc_seq);
+         List.iter
+           (fun d ->
+             G.Pool.with_pool d (fun pool ->
+                 let inc_par, t_par =
+                   timeit (fun () -> G.Community.girvan_newman ~target ~pool g)
+                 in
+                 record (Printf.sprintf "incremental-%d-domains" d) d t_par
+                   (agrees inc_par)))
+           (List.sort_uniq compare [ 2; domains ] |> List.filter (fun d -> d > 1));
+         Printf.printf "  removal sequence length: %d edges cut, %d communities\n%!"
+           (List.length reference.G.Community.removed_edges)
+           (G.Community.community_count reference.G.Community.partition);
+         (match json with
+         | None -> ()
+         | Some path ->
+             let oc = open_out path in
+             Printf.fprintf oc
+               "{\n  \"bench\": \"girvan_newman\",\n  \"graph\": {\"nodes\": %d, \"arcs\": %d, \
+                \"clusters\": %d},\n  \"target_communities\": %d,\n  \"removals\": %d,\n  \
+                \"cores_visible\": %d,\n  \"runs\": [\n"
+               (G.Digraph.n und) (G.Digraph.m und) clusters target
+               (List.length reference.G.Community.removed_edges)
+               (Domain.recommended_domain_count ());
+             let rows = List.rev !runs in
+             List.iteri
+               (fun i (name, dom, t, speedup, identical) ->
+                 Printf.fprintf oc
+                   "    {\"name\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
+                    \"speedup_vs_reference\": %.3f, \"identical_to_reference\": %b}%s\n"
+                   (json_escape name) dom t speedup identical
+                   (if i = List.length rows - 1 then "" else ","))
+               rows;
+             Printf.fprintf oc "  ]\n}\n";
+             close_out oc;
+             Printf.printf "  telemetry written to %s\n%!" path);
+         !runs))
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -267,7 +383,7 @@ let all_experiments =
     ("dyn3bug", Experiments.dyn3bug);
   ]
 
-let run_target = function
+let run_target ~json ~domains = function
   | "ablation" -> run_ablation ()
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
@@ -276,6 +392,7 @@ let run_target = function
   | "fig11" -> run_fig11 ()
   | "micro" -> microbenchmarks ()
   | "micro-par" -> run_micro_par ()
+  | "gn" -> run_gn_bench ~json ~domains ()
   | name -> (
       match List.assoc_opt name all_experiments with
       | Some spec -> run_experiment spec
@@ -283,9 +400,28 @@ let run_target = function
           Printf.eprintf "unknown target %S\n" name;
           exit 1)
 
+(* Split "--json PATH" / "--domains N" flags out of the target list. *)
+let parse_args args =
+  let rec go targets json domains = function
+    | [] -> (List.rev targets, json, domains)
+    | "--json" :: path :: rest -> go targets (Some path) domains rest
+    | "--domains" :: d :: rest -> (
+        match int_of_string_opt d with
+        | Some d when d >= 1 -> go targets json d rest
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %S\n" d;
+            exit 1)
+    | ("--json" | "--domains") :: [] ->
+        Printf.eprintf "missing value for flag\n";
+        exit 1
+    | t :: rest -> go (t :: targets) json domains rest
+  in
+  go [] None 4 args
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
-  match args with
+  let targets, json, domains = parse_args args in
+  match targets with
   | [] ->
       Printf.printf "climate-rca reproduction harness (model scale: paper, %d modules)\n\n"
         (Rca_synth.Config.total_modules config);
@@ -297,5 +433,6 @@ let () =
       run_fig11 ();
       run_ablation ();
       microbenchmarks ();
-      run_micro_par ()
-  | targets -> List.iter run_target targets
+      run_micro_par ();
+      run_gn_bench ~json ~domains ()
+  | targets -> List.iter (run_target ~json ~domains) targets

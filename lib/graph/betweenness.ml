@@ -2,6 +2,22 @@
    graphs, in both node and edge flavours.  Edge betweenness is the engine
    of Girvan–Newman community detection (paper Section 5.2).
 
+   Two implementations share the per-source math:
+
+   - The historical adjacency-list + hashtable accumulator path
+     ([accumulate_from] / [compute_sources]).  It is kept verbatim as the
+     differential-test reference.
+   - The CSR kernel ([csr_accumulate_from] / [csr_compute_sources]): BFS
+     and dependency accumulation over a frozen {!Csr.t} with a plain
+     [float array] edge accumulator indexed by dense arc id, per-call
+     scratch reused across sources (reset in O(visited), so a source
+     confined to a small component costs O(n_c + m_c), not O(n)), and an
+     optional arc-alive bitmask so Girvan–Newman can "remove" edges
+     without touching the snapshot.  CSR rows list neighbours in exactly
+     adjacency-list order, so the sequential CSR kernel is bitwise
+     identical to the sequential reference; the public entry points
+     ([node_betweenness], [edge_betweenness], [max_edge]) run on it.
+
    Brandes is embarrassingly parallel over BFS sources: every source's
    contribution is independent, so with a Pool.t the source set is split
    into fixed-size chunks, each chunk accumulates into its own private
@@ -101,21 +117,154 @@ let compute_sources ?pool g sources =
 
 let compute ?pool g = compute_sources ?pool g (Array.init (Digraph.n g) Fun.id)
 
+(* --- CSR kernel ----------------------------------------------------------- *)
+
+type csr_acc = {
+  csr_node_bc : float array;  (* indexed by node id *)
+  csr_edge_bc : float array;  (* indexed by dense arc id *)
+}
+
+let create_csr_acc (csr : Csr.t) =
+  { csr_node_bc = Array.make csr.Csr.n 0.0; csr_edge_bc = Array.make csr.Csr.m 0.0 }
+
+(* Per-domain scratch, reused across the sources of one chunk and reset
+   in O(visited) after each source: a BFS confined to a small component
+   touches only that component's entries. *)
+type csr_scratch = {
+  dist : int array;
+  sigma : float array;
+  delta : float array;
+  preds : int list array;  (* predecessor *arc* ids *)
+  queue : int Queue.t;
+}
+
+let make_csr_scratch (csr : Csr.t) =
+  {
+    dist = Array.make csr.Csr.n (-1);
+    sigma = Array.make csr.Csr.n 0.0;
+    delta = Array.make csr.Csr.n 0.0;
+    preds = Array.make csr.Csr.n [];
+    queue = Queue.create ();
+  }
+
+(* One source over CSR.  Neighbour order equals adjacency-list order, so
+   the float accumulation sequence — and hence every score — is bitwise
+   identical to [accumulate_from] on the corresponding digraph.  [alive]
+   masks arcs out (Girvan–Newman removals); omitted means all arcs. *)
+let csr_accumulate_from (csr : Csr.t) ?alive scratch ~node_bc ~edge_bc s =
+  let { dist; sigma; delta; preds; queue = q } = scratch in
+  let row = csr.Csr.row and col = csr.Csr.col and src = csr.Csr.src in
+  let arc_alive =
+    match alive with
+    | None -> fun _ -> true
+    | Some mask -> fun i -> Bytes.unsafe_get mask i <> '\000'
+  in
+  let order = ref [] in
+  dist.(s) <- 0;
+  sigma.(s) <- 1.0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    for i = row.(u) to row.(u + 1) - 1 do
+      if arc_alive i then begin
+        let v = col.(i) in
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end;
+        if dist.(v) = dist.(u) + 1 then begin
+          sigma.(v) <- sigma.(v) +. sigma.(u);
+          preds.(v) <- i :: preds.(v)
+        end
+      end
+    done
+  done;
+  List.iter
+    (fun w ->
+      List.iter
+        (fun i ->
+          let u = src.(i) in
+          let c = sigma.(u) /. sigma.(w) *. (1.0 +. delta.(w)) in
+          edge_bc.(i) <- edge_bc.(i) +. c;
+          delta.(u) <- delta.(u) +. c)
+        preds.(w);
+      if w <> s then node_bc.(w) <- node_bc.(w) +. delta.(w))
+    !order;
+  (* reset only what this source touched *)
+  List.iter
+    (fun w ->
+      dist.(w) <- -1;
+      sigma.(w) <- 0.0;
+      delta.(w) <- 0.0;
+      preds.(w) <- [])
+    !order
+
+let merge_csr_acc into src =
+  Array.iteri (fun i v -> into.csr_node_bc.(i) <- into.csr_node_bc.(i) +. v) src.csr_node_bc;
+  Array.iteri (fun i v -> into.csr_edge_bc.(i) <- into.csr_edge_bc.(i) +. v) src.csr_edge_bc;
+  into
+
+let csr_compute_sources ?pool ?alive (csr : Csr.t) sources =
+  let nsources = Array.length sources in
+  match pool with
+  | Some p when Pool.size p > 1 && nsources > 0 ->
+      let chunks = (nsources + chunk_sources - 1) / chunk_sources in
+      let partials =
+        Pool.run_chunks p ~chunks (fun c ->
+            let acc = create_csr_acc csr in
+            let scratch = make_csr_scratch csr in
+            let lo = c * chunk_sources in
+            let hi = min nsources (lo + chunk_sources) in
+            for i = lo to hi - 1 do
+              csr_accumulate_from csr ?alive scratch ~node_bc:acc.csr_node_bc
+                ~edge_bc:acc.csr_edge_bc sources.(i)
+            done;
+            acc)
+      in
+      Option.value ~default:(create_csr_acc csr) (Pool.tree_reduce merge_csr_acc partials)
+  | _ ->
+      let acc = create_csr_acc csr in
+      let scratch = make_csr_scratch csr in
+      Array.iter
+        (fun s ->
+          csr_accumulate_from csr ?alive scratch ~node_bc:acc.csr_node_bc
+            ~edge_bc:acc.csr_edge_bc s)
+        sources;
+      acc
+
+let csr_compute ?pool ?alive (csr : Csr.t) =
+  csr_compute_sources ?pool ?alive csr (Array.init csr.Csr.n Fun.id)
+
+(* --- public entry points (CSR-backed) -------------------------------------- *)
+
 let node_betweenness ?(normalized = true) ?pool g =
-  let acc = compute ?pool g in
+  let acc = csr_compute ?pool (Csr.of_digraph g) in
   let n = float_of_int (Digraph.n g) in
   if normalized && Digraph.n g > 2 then begin
     (* Directed normalization 1/((n-1)(n-2)); for symmetrized graphs each
        unordered pair is counted twice, which matches NetworkX's directed
        treatment of such graphs. *)
     let scale = 1.0 /. ((n -. 1.0) *. (n -. 2.0)) in
-    Array.map (fun x -> x *. scale) acc.node_bc
+    Array.map (fun x -> x *. scale) acc.csr_node_bc
   end
-  else acc.node_bc
+  else acc.csr_node_bc
+
+(* The hashtable view of the CSR scores.  An arc's score is a sum of
+   strictly positive contributions, so "never on a shortest path" is
+   exactly "score 0.0" — skipping zeros reproduces the reference table's
+   key set (the reference only inserts on first contribution). *)
+let edge_table_of_csr (csr : Csr.t) edge_bc =
+  let tbl = Hashtbl.create (max 16 (2 * csr.Csr.m)) in
+  for i = 0 to csr.Csr.m - 1 do
+    if edge_bc.(i) <> 0.0 then Hashtbl.replace tbl (csr.Csr.src.(i), csr.Csr.col.(i)) edge_bc.(i)
+  done;
+  tbl
 
 let edge_betweenness ?pool g =
-  let acc = compute ?pool g in
-  acc.edge_bc
+  let csr = Csr.of_digraph g in
+  let acc = csr_compute ?pool csr in
+  edge_table_of_csr csr acc.csr_edge_bc
 
 (* Argmax comparison: a challenger must beat the incumbent by a relative
    1e-9 margin.  The margin absorbs the last-ulp summation-order
@@ -124,17 +273,27 @@ let edge_betweenness ?pool g =
    the earliest edge in iteration order wins. *)
 let beats c ~incumbent = c > incumbent +. (1e-9 *. (1.0 +. abs_float incumbent))
 
+(* The one argmax used everywhere an edge is selected for removal
+   (Betweenness.max_edge, Community.max_betweenness_edge, the
+   component-incremental Girvan–Newman engine).  [iter] presents
+   candidate edges in a fixed order; the incumbent survives near-ties,
+   so earlier edges win them.  Keeping the fold in one place means every
+   caller resolves ties identically — the property the G-N differential
+   tests rely on. *)
+let argmax_edge iter =
+  let best = ref None in
+  iter (fun u v c ->
+      match !best with
+      | Some (_, _, c') when not (beats c ~incumbent:c') -> ()
+      | _ -> best := Some (u, v, c));
+  !best
+
 (* Highest-betweenness edge of a graph, near-ties broken by edge order, to
    make Girvan–Newman deterministic across sequential and parallel
    execution. *)
 let max_edge ?pool g =
   let tbl = edge_betweenness ?pool g in
-  let best = ref None in
-  Digraph.iter_edges
-    (fun u v ->
-      let c = Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v)) in
-      match !best with
-      | Some (_, _, c') when not (beats c ~incumbent:c') -> ()
-      | _ -> best := Some (u, v, c))
-    g;
-  !best
+  argmax_edge (fun f ->
+      Digraph.iter_edges
+        (fun u v -> f u v (Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v))))
+        g)

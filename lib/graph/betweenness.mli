@@ -2,6 +2,15 @@
     graphs.  Edge betweenness is the engine of Girvan–Newman community
     detection.
 
+    Two implementations share the per-source math: the historical
+    adjacency-list + hashtable path (kept as the differential-test
+    reference) and the {!Csr} kernel the public entry points run on — a
+    plain [float array] edge accumulator indexed by dense arc id, scratch
+    reset in O(visited) per source, and an optional arc-alive bitmask for
+    Girvan–Newman edge removal.  CSR rows preserve adjacency-list order,
+    so the sequential CSR kernel is bitwise identical to the sequential
+    reference.
+
     Every entry point takes an optional [?pool]: with a {!Pool.t} of size
     [>= 2] the per-source accumulation fans out across domains in
     fixed-size source chunks whose partials are merged by a deterministic
@@ -23,17 +32,66 @@ val accumulate_from : Digraph.t -> accumulators -> int -> unit
     work source-sampled estimation repeats). *)
 
 val compute_sources : ?pool:Pool.t -> Digraph.t -> int array -> accumulators
-(** Betweenness restricted to the given BFS sources (the building block
-    of exact and source-sampled estimation). *)
+(** Betweenness restricted to the given BFS sources, on the hashtable
+    reference path (the building block of exact and source-sampled
+    estimation). *)
 
 val compute : ?pool:Pool.t -> Digraph.t -> accumulators
-(** Exact betweenness from every source. *)
+(** Exact betweenness from every source (hashtable reference path). *)
+
+val chunk_sources : int
+(** Sources per parallel chunk — fixed (never a function of pool size)
+    as part of the deterministic contract: the chunk structure, and so
+    the merged float sums, depend only on the source count. *)
+
+(** {1 CSR kernel} *)
+
+type csr_acc = {
+  csr_node_bc : float array;  (** indexed by node id *)
+  csr_edge_bc : float array;  (** indexed by dense arc id *)
+}
+
+val create_csr_acc : Csr.t -> csr_acc
+
+type csr_scratch
+(** Per-domain BFS scratch, reused across sources and reset in
+    O(visited) — a source confined to a small component costs
+    O(n_c + m_c), not O(n). *)
+
+val make_csr_scratch : Csr.t -> csr_scratch
+
+val csr_accumulate_from :
+  Csr.t ->
+  ?alive:Bytes.t ->
+  csr_scratch ->
+  node_bc:float array ->
+  edge_bc:float array ->
+  int ->
+  unit
+(** One source's contribution over CSR, added into the caller's
+    accumulators.  [alive] masks arcs out (a ['\000'] byte at an arc id
+    means removed); scores are bitwise identical to {!accumulate_from}
+    on the corresponding digraph. *)
+
+val csr_compute_sources : ?pool:Pool.t -> ?alive:Bytes.t -> Csr.t -> int array -> csr_acc
+(** CSR betweenness restricted to the given BFS sources, under the same
+    chunked-deterministic [?pool] contract as {!compute_sources} (same
+    chunk size, same tree reduction — per-edge sums are bitwise
+    identical to the hashtable path at every pool size). *)
+
+val csr_compute : ?pool:Pool.t -> ?alive:Bytes.t -> Csr.t -> csr_acc
+(** Exact CSR betweenness from every source. *)
+
+(** {1 Derived scores and edge selection} *)
 
 val node_betweenness : ?normalized:bool -> ?pool:Pool.t -> Digraph.t -> float array
-(** Node betweenness; normalized by [(n-1)(n-2)] when requested. *)
+(** Node betweenness (CSR-backed); normalized by [(n-1)(n-2)] when
+    requested. *)
 
 val edge_betweenness : ?pool:Pool.t -> Digraph.t -> (int * int, float) Hashtbl.t
-(** Per-directed-edge shortest-path counts. *)
+(** Per-directed-edge shortest-path counts (CSR-backed; the table
+    contains exactly the arcs with nonzero score, matching the reference
+    path's key set). *)
 
 val beats : float -> incumbent:float -> bool
 (** Argmax comparison used for edge selection: [beats c ~incumbent] iff
@@ -41,6 +99,13 @@ val beats : float -> incumbent:float -> bool
     than the margin count as a tie (earliest edge wins), which keeps the
     sequential and parallel argmax identical despite summation-order
     float noise. *)
+
+val argmax_edge : ((int -> int -> float -> unit) -> unit) -> (int * int * float) option
+(** [argmax_edge iter] folds {!beats} over the candidate edges [iter]
+    presents (in a fixed order — the incumbent survives near-ties, so
+    earlier edges win them).  The single edge-selection argmax shared by
+    {!max_edge}, [Community.max_betweenness_edge] and the incremental
+    Girvan–Newman engine, so all resolve ties identically. *)
 
 val max_edge : ?pool:Pool.t -> Digraph.t -> (int * int * float) option
 (** The single highest-betweenness edge, near-ties broken by edge

@@ -23,50 +23,47 @@ let degree ?(direction = Out) g =
    [Out].  The identity shift is the same trick NetworkX uses to force
    convergence on graphs whose dominant eigenvalue is not unique.
 
-   With [pool], each sweep switches from the sequential edge scatter to a
-   gather over per-node neighbor lists, chunked across domains.  Every
-   x'(v) is written by exactly one chunk and summed in neighbor-list
-   order, so the parallel sweep is deterministic regardless of
-   scheduling; it differs from the scatter only in float summation order
-   (last-ulp noise, damped further by the convergence tolerance). *)
+   The matvec runs as a gather over a frozen CSR view of M: row v lists
+   v's in-neighbours (for [In], the transposed CSR) in exactly the order
+   the historical sequential edge scatter visited them, so every x'(v)
+   is the same float summation sequence and the sweep is bitwise
+   identical to the scatter it replaced — while touching two flat int
+   arrays instead of chasing list cells.  With [pool] the rows are
+   chunked across domains; each x'(v) is still written by exactly one
+   chunk in the same order, so sequential and parallel sweeps agree
+   bitwise at every pool size. *)
 let matvec_chunk_nodes = 256
 
 let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) ?pool g =
   let n = Digraph.n g in
   if n = 0 then [||]
   else begin
-    let parallel_sweep =
+    let csr =
+      match direction with
+      | In -> Csr.transpose (Csr.of_digraph g)
+      | Out -> Csr.of_digraph g
+    in
+    let row = csr.Csr.row and col = csr.Csr.col in
+    let gather_range x x' lo hi =
+      for v = lo to hi - 1 do
+        let acc = ref x.(v) in
+        for i = row.(v) to row.(v + 1) - 1 do
+          acc := !acc +. x.(col.(i))
+        done;
+        x'.(v) <- !acc
+      done
+    in
+    let sweep =
       match pool with
       | Some p when Pool.size p > 1 ->
-          let nbrs =
-            match direction with
-            | In -> fun v -> Digraph.pred g v
-            | Out -> fun v -> Digraph.succ g v
-          in
           let chunks = (n + matvec_chunk_nodes - 1) / matvec_chunk_nodes in
-          Some
-            (fun x x' ->
-              ignore
-                (Pool.run_chunks p ~chunks (fun c ->
-                     let lo = c * matvec_chunk_nodes in
-                     let hi = min n (lo + matvec_chunk_nodes) in
-                     for v = lo to hi - 1 do
-                       x'.(v) <-
-                         List.fold_left (fun a u -> a +. x.(u)) x.(v) (nbrs v)
-                     done)))
-      | _ -> None
-    in
-    let sweep x x' =
-      match parallel_sweep with
-      | Some f -> f x x'
-      | None ->
-          Array.blit x 0 x' 0 n;
-          Digraph.iter_edges
-            (fun u v ->
-              match direction with
-              | In -> x'.(v) <- x'.(v) +. x.(u)
-              | Out -> x'.(u) <- x'.(u) +. x.(v))
-            g
+          fun x x' ->
+            ignore
+              (Pool.run_chunks p ~chunks (fun c ->
+                   let lo = c * matvec_chunk_nodes in
+                   let hi = min n (lo + matvec_chunk_nodes) in
+                   gather_range x x' lo hi))
+      | _ -> fun x x' -> gather_range x x' 0 n
     in
     let x = Array.make n (1.0 /. float_of_int n) in
     let x' = Array.make n 0.0 in

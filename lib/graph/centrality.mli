@@ -18,9 +18,12 @@ val eigenvector :
   float array
 (** Eigenvector centrality by shifted power iteration (x <- x + Mx, the
     NetworkX convergence trick), L2-normalized.  [In] accumulates from
-    predecessors (information sinks), [Out] from successors.  [pool]
-    parallelizes the matvec sweep (deterministic gather over node
-    chunks). *)
+    predecessors (information sinks), [Out] from successors.  The matvec
+    gathers over a frozen {!Csr} view whose row order reproduces the
+    historical edge-scatter summation sequence, so results are bitwise
+    identical to the adjacency-list implementation; [pool] chunks the
+    rows across domains without changing any sum (sequential and
+    parallel sweeps agree bitwise at every pool size). *)
 
 val katz :
   ?direction:direction -> ?alpha:float -> ?max_iter:int -> ?tol:float -> Digraph.t -> float array

@@ -63,85 +63,303 @@ let modularity g p =
     !q
   end
 
-(* Edge betweenness with optional source sampling.  When [approx] is
-   [Some k] and the graph has more than k nodes, betweenness is estimated
-   from k evenly spaced BFS sources (deterministic, so results are
-   reproducible).  [pool] fans the per-source accumulation out across
+(* The fixed BFS source set Girvan–Newman betweenness uses.  When
+   [approx] is [Some k] and the graph has more than k nodes, betweenness
+   is estimated from k evenly spaced sources (deterministic, so results
+   are reproducible).  G-N never deletes nodes, only edges, so this set
+   is fixed for a whole run — the incremental engine relies on that to
+   recompute a component from exactly the sampled sources it contains. *)
+let gn_sources ?approx n =
+  match approx with
+  | Some k when n > k && k > 0 ->
+      let step = float_of_int n /. float_of_int k in
+      Array.init k (fun i -> int_of_float (float_of_int i *. step))
+  | _ -> Array.init n (fun i -> i)
+
+(* Edge betweenness with optional source sampling, on the hashtable
+   reference path.  [pool] fans the per-source accumulation out across
    domains (see Betweenness). *)
 let edge_betweenness_sampled ?approx ?pool g =
-  let n = Digraph.n g in
-  let sources =
-    match approx with
-    | Some k when n > k && k > 0 ->
-        let step = float_of_int n /. float_of_int k in
-        Array.init k (fun i -> int_of_float (float_of_int i *. step))
-    | _ -> Array.init n (fun i -> i)
-  in
-  (Betweenness.compute_sources ?pool g sources).Betweenness.edge_bc
+  (Betweenness.compute_sources ?pool g (gn_sources ?approx (Digraph.n g)))
+    .Betweenness.edge_bc
 
 let max_betweenness_edge ?approx ?pool g =
   let tbl = edge_betweenness_sampled ?approx ?pool g in
-  let best = ref None in
-  Digraph.iter_edges
-    (fun u v ->
-      if u <= v || not (Digraph.mem_edge g v u) then begin
-        (* On a symmetrized graph consider each undirected edge once,
-           summing the two arc scores. *)
-        let c =
-          Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v))
-          +. Option.value ~default:0.0 (Hashtbl.find_opt tbl (v, u))
-        in
-        match !best with
-        | Some (_, _, c') when not (Betweenness.beats c ~incumbent:c') -> ()
-        | _ -> best := Some (u, v, c)
-      end)
-    g;
-  !best
+  (* On a symmetrized graph consider each undirected edge once (at its
+     first directed occurrence), summing the two arc scores. *)
+  Betweenness.argmax_edge (fun f ->
+      Digraph.iter_edges
+        (fun u v ->
+          if u <= v || not (Digraph.mem_edge g v u) then
+            f u v
+              (Option.value ~default:0.0 (Hashtbl.find_opt tbl (u, v))
+              +. Option.value ~default:0.0 (Hashtbl.find_opt tbl (v, u))))
+        g)
 
 type gn_step = {
   partition : partition;
   removed_edges : (int * int) list;  (* undirected pairs removed *)
 }
 
-(* One Girvan–Newman iteration on a copy of (the symmetrized view of) [g]:
-   remove top-betweenness edges until the weak component count increases.
-   [max_removals] bounds the work; if reached, the current partition is
-   returned as-is. *)
-let girvan_newman_step ?approx ?pool ?(max_removals = 2000) g =
-  let work = Digraph.to_undirected g in
-  let initial = Components.count_weakly_connected work in
+(* --- the shared Girvan–Newman removal loop -------------------------------- *)
+
+(* Both G-N entry points (one-split step, run-to-target) and both engines
+   (component-incremental CSR, mutable-digraph reference) share this one
+   loop; the engines differ only in how they answer the four queries. *)
+type gn_driver = {
+  ncomponents : unit -> int;
+  alive_arcs : unit -> int;  (* directed arc count of the working graph *)
+  best_edge : unit -> (int * int * float) option;
+  remove : int -> int -> unit;  (* undirected removal of a [best_edge] result *)
+  current : unit -> partition;
+}
+
+let gn_run driver ~max_removals ~stop =
   let removed = ref [] in
   let rec loop budget =
-    if budget = 0 then ()
-    else if Components.count_weakly_connected work > initial then ()
+    if budget <= 0 then ()
+    else if stop ~ncomps:(driver.ncomponents ()) ~arcs:(driver.alive_arcs ()) then ()
     else
-      match max_betweenness_edge ?approx ?pool work with
+      match driver.best_edge () with
       | None -> ()
       | Some (u, v, _) ->
-          Digraph.remove_edge work u v;
-          Digraph.remove_edge work v u;
+          driver.remove u v;
           removed := (u, v) :: !removed;
           loop (budget - 1)
   in
   loop max_removals;
-  { partition = of_components work; removed_edges = List.rev !removed }
+  { partition = driver.current (); removed_edges = List.rev !removed }
 
-(* Run G-N until at least [target] communities exist (or no edges remain).
-   Returns the partition at the first point the target is met. *)
-let girvan_newman ?approx ?pool ?(max_removals = 2000) ~target g =
+(* --- reference engine: mutable digraph + full recomputation ---------------- *)
+
+(* Exact G-N as the paper states it: recompute full edge betweenness
+   after every removal (O(n·m) each).  Kept as the differential-test
+   reference for the incremental engine. *)
+let reference_driver ?approx ?pool g =
   let work = Digraph.to_undirected g in
-  let rec loop budget =
-    let p = of_components work in
-    if community_count p >= target || Digraph.m work = 0 || budget <= 0 then p
-    else
-      match max_betweenness_edge ?approx ?pool work with
-      | None -> p
-      | Some (u, v, _) ->
-          Digraph.remove_edge work u v;
-          Digraph.remove_edge work v u;
-          loop (budget - 1)
+  {
+    ncomponents = (fun () -> Components.count_weakly_connected work);
+    alive_arcs = (fun () -> Digraph.m work);
+    best_edge = (fun () -> max_betweenness_edge ?approx ?pool work);
+    remove =
+      (fun u v ->
+        Digraph.remove_edge work u v;
+        Digraph.remove_edge work v u);
+    current = (fun () -> of_components work);
+  }
+
+(* --- component-incremental engine over a frozen CSR ------------------------ *)
+
+(* Removing edge (u, v) can only change shortest paths inside the
+   component containing u and v: BFS trees rooted in other components
+   never reach the removed edge, so their betweenness contributions are
+   untouched.  The engine therefore keeps one global arc-score array
+   (valid per component) and, after each removal, re-runs Brandes only
+   over the component of u — from exactly the fixed sources that lie in
+   it — while every other component keeps its cached scores.  Late-stage
+   G-N (many small components) drops from O(n·m) to O(n_c·m_c) per
+   removal, plus an O(m) cached-score argmax scan.
+
+   Determinism: per-component sequential recomputation adds exactly the
+   same contributions in exactly the same order as a full sequential
+   recomputation does for that component's arcs (sources ascend, CSR
+   rows preserve adjacency order, other components contribute exactly
+   nothing), so cached scores are bitwise identical to the reference's.
+   The argmax deliberately re-scans all alive arcs in global arc order
+   (Betweenness.argmax_edge) instead of combining per-component cached
+   maxima: near-ties are resolved by scan order, and combining
+   out-of-order partial maxima can pick a different edge of a near-tied
+   pair.  Under a pool, per-component source chunking differs from the
+   reference's global chunking, which perturbs sums by last-ulp noise —
+   absorbed by the relative 1e-9 margin of [Betweenness.beats], exactly
+   as for sequential-vs-parallel. *)
+let incremental_driver ?approx ?pool g =
+  let work = Digraph.to_undirected g in
+  let csr = Csr.of_digraph work in
+  let n = csr.Csr.n and m = csr.Csr.m in
+  let row = csr.Csr.row and col = csr.Csr.col and src = csr.Csr.src in
+  let alive = Bytes.make m '\001' in
+  let arcs_alive = ref m in
+  let edge_bc = Array.make m 0.0 in
+  let sources = gn_sources ?approx n in
+  let is_source = Array.make n false in
+  Array.iter (fun s -> is_source.(s) <- true) sources;
+  (* Component labels and member lists (members kept sorted ascending so
+     recomputation sources ascend like the reference's). *)
+  let comp = Array.make n (-1) in
+  let members : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let ncomps = ref 0 in
+  let next_comp = ref 0 in
+  (* Generation-stamped BFS over alive arcs (the working graph is
+     symmetric, so forward arcs suffice). *)
+  let mark = Array.make n (-1) in
+  let generation = ref 0 in
+  let bfs start =
+    incr generation;
+    let gen = !generation in
+    let q = Queue.create () in
+    let seen = ref [] in
+    mark.(start) <- gen;
+    Queue.add start q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      seen := u :: !seen;
+      for i = row.(u) to row.(u + 1) - 1 do
+        if Bytes.unsafe_get alive i <> '\000' then begin
+          let v = col.(i) in
+          if mark.(v) <> gen then begin
+            mark.(v) <- gen;
+            Queue.add v q
+          end
+        end
+      done
+    done;
+    let nodes = Array.of_list !seen in
+    Array.sort compare nodes;
+    (nodes, gen)
   in
-  loop max_removals
+  (* initial component labeling *)
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then begin
+      let nodes, _ = bfs v in
+      let c = !next_comp in
+      incr next_comp;
+      incr ncomps;
+      Array.iter (fun x -> comp.(x) <- c) nodes;
+      Hashtbl.replace members c nodes
+    end
+  done;
+  (* Initial scores: one global computation over the fixed source set —
+     the exact computation (and, under a pool, the exact chunk
+     structure) the reference performs before its first removal. *)
+  let initial = Betweenness.csr_compute_sources ?pool ~alive csr sources in
+  Array.blit initial.Betweenness.csr_edge_bc 0 edge_bc 0 m;
+  (* Sequential per-component scratch, reused across removals; the
+     reset-in-O(visited) contract keeps small components cheap. *)
+  let scratch = Betweenness.make_csr_scratch csr in
+  let scratch_node_bc = Array.make n 0.0 in
+  let recompute nodes =
+    Array.iter
+      (fun u ->
+        for i = row.(u) to row.(u + 1) - 1 do
+          edge_bc.(i) <- 0.0
+        done)
+      nodes;
+    let srcs = Array.to_list nodes |> List.filter (fun v -> is_source.(v)) |> Array.of_list in
+    (* The pool pays a broadcast + barrier per batch, so hand it only
+       components spanning at least two source chunks; a single-chunk
+       batch accumulates its sources in order, which is the same float
+       summation the sequential path performs, so this gate never
+       changes a score — only who computes it. *)
+    match pool with
+    | Some p when Pool.size p > 1 && Array.length srcs > Betweenness.chunk_sources ->
+        let acc = Betweenness.csr_compute_sources ~pool:p ~alive csr srcs in
+        Array.iter
+          (fun u ->
+            for i = row.(u) to row.(u + 1) - 1 do
+              edge_bc.(i) <- acc.Betweenness.csr_edge_bc.(i)
+            done)
+          nodes
+    | _ ->
+        Array.iter
+          (fun s ->
+            Betweenness.csr_accumulate_from csr ~alive scratch ~node_bc:scratch_node_bc
+              ~edge_bc s)
+          srcs
+  in
+  let best_edge () =
+    Betweenness.argmax_edge (fun f ->
+        for i = 0 to m - 1 do
+          (* Alive arcs of the symmetric working graph come in pairs, so
+             "first directed occurrence" is exactly [u <= v]; the score
+             sums both arc directions like the reference. *)
+          if Bytes.unsafe_get alive i <> '\000' then begin
+            let u = src.(i) and v = col.(i) in
+            if u <= v then f u v (edge_bc.(i) +. edge_bc.(csr.Csr.rev.(i)))
+          end
+        done)
+  in
+  let remove u v =
+    let i = Csr.arc_id csr u v in
+    if i >= 0 && Bytes.get alive i <> '\000' then begin
+      let j = csr.Csr.rev.(i) in
+      Bytes.set alive i '\000';
+      decr arcs_alive;
+      if j >= 0 && j <> i then begin
+        Bytes.set alive j '\000';
+        decr arcs_alive
+      end;
+      let c = comp.(u) in
+      let reached_u, gen_u = bfs u in
+      if u <> v && mark.(v) <> gen_u then begin
+        (* the component split: [u]'s side keeps label [c], [v]'s side
+           gets a fresh one; both need new scores *)
+        let reached_v, _ = bfs v in
+        let c' = !next_comp in
+        incr next_comp;
+        incr ncomps;
+        Array.iter (fun x -> comp.(x) <- c') reached_v;
+        Hashtbl.replace members c reached_u;
+        Hashtbl.replace members c' reached_v;
+        recompute reached_u;
+        recompute reached_v
+      end
+      else
+        (* still one component (or a self-loop): refresh its scores;
+           every other component's cache is untouched *)
+        recompute (Hashtbl.find members c)
+    end
+  in
+  let current () =
+    (* Relabel components in first-node order — the labeling
+       [of_components] produces on the reference's working graph. *)
+    let labels = Array.make n 0 in
+    let remap = Hashtbl.create 16 in
+    for v = 0 to n - 1 do
+      labels.(v) <-
+        (match Hashtbl.find_opt remap comp.(v) with
+        | Some l -> l
+        | None ->
+            let l = Hashtbl.length remap in
+            Hashtbl.replace remap comp.(v) l;
+            l)
+    done;
+    partition_of_labels labels (Hashtbl.length remap)
+  in
+  {
+    ncomponents = (fun () -> !ncomps);
+    alive_arcs = (fun () -> !arcs_alive);
+    best_edge;
+    remove;
+    current;
+  }
+
+(* --- entry points ----------------------------------------------------------- *)
+
+(* One Girvan–Newman iteration on (the symmetrized view of) [g]: remove
+   top-betweenness edges until the weak component count increases.
+   [max_removals] bounds the work; if reached, the current partition is
+   returned as-is. *)
+let gn_step_with driver ?(max_removals = 2000) () =
+  let initial = driver.ncomponents () in
+  gn_run driver ~max_removals ~stop:(fun ~ncomps ~arcs:_ -> ncomps > initial)
+
+(* Run G-N until at least [target] communities exist (or no edges
+   remain).  Returns the state at the first point the target is met. *)
+let gn_target_with driver ?(max_removals = 2000) ~target () =
+  gn_run driver ~max_removals ~stop:(fun ~ncomps ~arcs -> ncomps >= target || arcs = 0)
+
+let girvan_newman_step ?approx ?pool ?max_removals g =
+  gn_step_with (incremental_driver ?approx ?pool g) ?max_removals ()
+
+let girvan_newman ?approx ?pool ?max_removals ~target g =
+  gn_target_with (incremental_driver ?approx ?pool g) ?max_removals ~target ()
+
+let girvan_newman_step_reference ?approx ?pool ?max_removals g =
+  gn_step_with (reference_driver ?approx ?pool g) ?max_removals ()
+
+let girvan_newman_reference ?approx ?pool ?max_removals ~target g =
+  gn_target_with (reference_driver ?approx ?pool g) ?max_removals ~target ()
 
 (* Asynchronous label propagation (Raghavan et al. 2007) on the symmetrized
    view, deterministic given the seed.  Fast alternative partitioner. *)

@@ -41,11 +41,32 @@ val girvan_newman_step :
 (** One Girvan–Newman iteration on a symmetrized copy: remove
     top-betweenness edges until the weak component count increases.
     [max_removals] bounds the work; [pool] parallelizes each betweenness
-    recomputation without changing the partition. *)
+    recomputation without changing the partition.
+
+    Runs on the component-incremental CSR engine: after removing edge
+    [(u, v)] only the component containing [u] has its edge-betweenness
+    recomputed (from exactly the fixed BFS sources inside it); untouched
+    components keep their cached scores, and removals flip an arc-alive
+    bit instead of rebuilding adjacency lists.  Removal sequences and
+    partitions are identical to the reference engine — bitwise
+    sequentially, within the {!Betweenness.beats} tie margin under a
+    pool. *)
 
 val girvan_newman :
-  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> target:int -> Digraph.t -> partition
-(** Iterate until at least [target] communities exist (or edges run out). *)
+  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> target:int -> Digraph.t -> gn_step
+(** Iterate until at least [target] communities exist (or edges run
+    out), on the same incremental engine; [removed_edges] lists the cut
+    sequence in order. *)
+
+val girvan_newman_step_reference :
+  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> Digraph.t -> gn_step
+(** {!girvan_newman_step} on the reference engine (mutable digraph +
+    full betweenness recomputation per removal, O(n·m) each) — the
+    differential-test oracle for the incremental engine. *)
+
+val girvan_newman_reference :
+  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> target:int -> Digraph.t -> gn_step
+(** {!girvan_newman} on the reference engine. *)
 
 val label_propagation : ?seed:int -> ?max_sweeps:int -> Digraph.t -> partition
 (** Asynchronous label propagation (Raghavan et al. 2007): a fast

@@ -1,0 +1,150 @@
+(* Frozen CSR snapshot of a Digraph.
+
+   Arc ids follow Digraph.iter_edges order: iter_edges walks nodes in
+   ascending order and each succ list front to back, and the rows are
+   filled by that same walk, so slot order within a row equals succ-list
+   order and global slot order equals iteration order.  Every kernel
+   that needs adjacency-order-compatible float accumulation relies on
+   this. *)
+
+type t = {
+  n : int;
+  m : int;
+  row : int array;
+  col : int array;
+  src : int array;
+  rev : int array;
+}
+
+(* Reverse-arc ids via one (u, v) -> id table pass; a self-loop maps to
+   itself. *)
+let compute_rev ~m ~col ~src =
+  let ids = Hashtbl.create (max 16 (2 * m)) in
+  for i = 0 to m - 1 do
+    Hashtbl.replace ids (src.(i), col.(i)) i
+  done;
+  Array.init m (fun i ->
+      match Hashtbl.find_opt ids (col.(i), src.(i)) with
+      | Some j -> j
+      | None -> -1)
+
+let of_digraph g =
+  let n = Digraph.n g in
+  let m = Digraph.m g in
+  let row = Array.make (n + 1) 0 in
+  let col = Array.make m 0 in
+  let src = Array.make m 0 in
+  let cursor = ref 0 in
+  for u = 0 to n - 1 do
+    row.(u) <- !cursor;
+    List.iter
+      (fun v ->
+        col.(!cursor) <- v;
+        src.(!cursor) <- u;
+        incr cursor)
+      (Digraph.succ g u)
+  done;
+  row.(n) <- !cursor;
+  assert (!cursor = m);
+  { n; m; row; col; src; rev = compute_rev ~m ~col ~src }
+
+let of_digraph_sub g nodes =
+  (* Same dedup-preserving-first-occurrence contract as
+     Digraph.induced_subgraph, straight into CSR form. *)
+  let of_parent = Hashtbl.create (max 16 (2 * List.length nodes)) in
+  let uniq =
+    List.fold_left
+      (fun acc v ->
+        if v < 0 || v >= Digraph.n g then invalid_arg "Csr.of_digraph_sub: node out of range";
+        if Hashtbl.mem of_parent v then acc
+        else begin
+          Hashtbl.replace of_parent v (Hashtbl.length of_parent);
+          v :: acc
+        end)
+      [] nodes
+    |> List.rev
+  in
+  let to_parent = Array.of_list uniq in
+  let n = Array.length to_parent in
+  let row = Array.make (n + 1) 0 in
+  (* first pass: induced out-degrees *)
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun w -> if Hashtbl.mem of_parent w then row.(i + 1) <- row.(i + 1) + 1)
+        (Digraph.succ g v))
+    to_parent;
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i + 1) + row.(i)
+  done;
+  let m = row.(n) in
+  let col = Array.make m 0 in
+  let src = Array.make m 0 in
+  let cursor = ref 0 in
+  (* Digraph.induced_subgraph rebuilds adjacency by prepending, so the
+     sub-graph's rows come out *reversed* relative to the parent's succ
+     lists.  Reproduce that order exactly: this CSR must be bitwise
+     interchangeable with [of_digraph (induced_subgraph g nodes).graph],
+     so any kernel run on it matches the digraph-subgraph pipeline
+     float-for-float. *)
+  Array.iteri
+    (fun i v ->
+      let kept =
+        List.fold_left
+          (fun acc w ->
+            match Hashtbl.find_opt of_parent w with Some j -> j :: acc | None -> acc)
+          [] (Digraph.succ g v)
+      in
+      List.iter
+        (fun j ->
+          col.(!cursor) <- j;
+          src.(!cursor) <- i;
+          incr cursor)
+        kept)
+    to_parent;
+  ({ n; m; row; col; src; rev = compute_rev ~m ~col ~src }, to_parent)
+
+let transpose t =
+  let n = t.n and m = t.m in
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    row.(t.col.(i) + 1) <- row.(t.col.(i) + 1) + 1
+  done;
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v + 1) + row.(v)
+  done;
+  let cursor = Array.init n (fun v -> row.(v)) in
+  let col = Array.make m 0 in
+  let src = Array.make m 0 in
+  (* walking arcs in id order (ascending source) fills each transposed
+     row in ascending-source order *)
+  for i = 0 to m - 1 do
+    let v = t.col.(i) in
+    let slot = cursor.(v) in
+    cursor.(v) <- slot + 1;
+    col.(slot) <- t.src.(i);
+    src.(slot) <- v
+  done;
+  { n; m; row; col; src; rev = compute_rev ~m ~col ~src }
+
+let out_degree t u = t.row.(u + 1) - t.row.(u)
+
+let arc_id t u v =
+  if u < 0 || u >= t.n then -1
+  else begin
+    let found = ref (-1) in
+    let i = ref t.row.(u) in
+    let stop = t.row.(u + 1) in
+    while !found = -1 && !i < stop do
+      if t.col.(!i) = v then found := !i;
+      incr i
+    done;
+    !found
+  end
+
+let iter_arcs f t =
+  for i = 0 to t.m - 1 do
+    f i t.src.(i) t.col.(i)
+  done
+
+let pp ppf t = Format.fprintf ppf "csr(n=%d, m=%d)" t.n t.m

@@ -1,0 +1,58 @@
+(** Frozen compressed-sparse-row snapshot of a {!Digraph}.
+
+    The mutable adjacency-list digraph is the construction substrate; the
+    graph kernels (Brandes betweenness, eigenvector matvec, the
+    component-incremental Girvan–Newman engine) run over this immutable
+    int-array view instead.  Arcs get dense ids [0 .. m-1] in
+    {!Digraph.iter_edges} order, which makes a plain [float array] the
+    edge accumulator (no [(int * int)] hashing on the hot path) and lets
+    edge "removal" be a byte flip in an alive bitmask rather than an
+    adjacency-list rebuild.
+
+    Determinism contract: the slots of row [u] appear in exactly the
+    order [Digraph.succ g u] lists them, so any kernel that walks CSR
+    rows visits neighbours in precisely the order the adjacency-list
+    kernels do — float accumulation sequences, and therefore results,
+    are bitwise identical between the two representations. *)
+
+type t = private {
+  n : int;  (** node count *)
+  m : int;  (** arc count; arc ids are [0 .. m-1] *)
+  row : int array;  (** length [n + 1]: arcs of node [u] are slots [row.(u) .. row.(u+1) - 1] *)
+  col : int array;  (** length [m]: target of each arc *)
+  src : int array;  (** length [m]: source of each arc *)
+  rev : int array;  (** length [m]: arc id of the reverse arc [(v, u)], or [-1] if absent;
+                        a self-loop is its own reverse *)
+}
+
+val of_digraph : Digraph.t -> t
+(** Snapshot of the whole graph; arc [i] is the [i]-th edge of
+    [Digraph.iter_edges]. *)
+
+val of_digraph_sub : Digraph.t -> int list -> t * int array
+(** [of_digraph_sub g nodes] is the CSR of the subgraph induced on
+    [nodes] (deduplicated, first occurrence wins — the same contract as
+    {!Digraph.induced_subgraph}) together with the [to_parent] map from
+    compact CSR ids back to [g]'s node ids.  Bitwise interchangeable
+    with [of_digraph (Digraph.induced_subgraph g nodes).graph]: rows
+    reproduce that sub-graph's adjacency order (which is reversed
+    relative to the parent, an artifact of prepend-based rebuilds), so
+    kernels agree float-for-float with the digraph-subgraph pipeline. *)
+
+val transpose : t -> t
+(** Arc-reversed view: row [v] lists the sources of arcs into [v], in
+    ascending-source order (= global iteration order), which is exactly
+    the accumulation order of a sequential edge scatter — the gather
+    over a transposed row is bitwise identical to it. *)
+
+val out_degree : t -> int -> int
+
+val arc_id : t -> int -> int -> int
+(** [arc_id t u v] is the dense id of arc [(u, v)], or [-1]; linear in
+    [out_degree t u]. *)
+
+val iter_arcs : (int -> int -> int -> unit) -> t -> unit
+(** [iter_arcs f t] calls [f id u v] for every arc in id order (=
+    {!Digraph.iter_edges} order of the source graph). *)
+
+val pp : Format.formatter -> t -> unit

@@ -248,8 +248,10 @@ let gn_splits_two_clusters () =
 
 let gn_target_communities () =
   let g = Gen.two_clusters ~seed:3 ~size:6 ~p_intra:0.6 ~bridges:1 in
-  let p = Community.girvan_newman ~target:2 g in
-  check_bool "at least 2" true (Community.community_count p >= 2)
+  let { Community.partition = p; removed_edges } = Community.girvan_newman ~target:2 g in
+  check_bool "at least 2" true (Community.community_count p >= 2);
+  (* the split required cutting at least the bridge *)
+  check_bool "removed edges reported" true (removed_edges <> [])
 
 let gn_on_disconnected_graph () =
   let g = Digraph.of_edges ~n:4 [ (0, 1); (2, 3) ] in

@@ -121,8 +121,8 @@ let disconnected_graph_partition () =
   let g =
     Digraph.of_edges ~n:7 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
   in
-  let seq = Community.girvan_newman ~target:3 g in
-  let par = Community.girvan_newman ~target:3 ~pool:pool4 g in
+  let seq = (Community.girvan_newman ~target:3 g).Community.partition in
+  let par = (Community.girvan_newman ~target:3 ~pool:pool4 g).Community.partition in
   Alcotest.(check (array int)) "labels identical" seq.Community.labels par.Community.labels;
   check_bool "betweenness agrees" true
     (tables_close (Betweenness.edge_betweenness g) (Betweenness.edge_betweenness ~pool:pool4 g))
@@ -171,10 +171,10 @@ let prop_edge_betweenness_differential =
 let prop_girvan_newman_differential =
   QCheck2.Test.make ~name:"parallel Girvan-Newman partition = sequential" ~count:40
     graph_gen (fun g ->
-      let seq = Community.girvan_newman ~target:2 g in
+      let seq = (Community.girvan_newman ~target:2 g).Community.partition in
       List.for_all
         (fun (_, pool) ->
-          let par = Community.girvan_newman ~target:2 ~pool g in
+          let par = (Community.girvan_newman ~target:2 ~pool g).Community.partition in
           seq.Community.labels = par.Community.labels
           && seq.Community.communities = par.Community.communities)
         pools)
@@ -211,7 +211,9 @@ let prop_parallel_bitwise_deterministic =
     ~count:40 graph_gen (fun g ->
       let eb pool = table_sorted (Betweenness.edge_betweenness ~pool g) in
       let bc pool = Betweenness.node_betweenness ~normalized:false ~pool g in
-      let labels pool = (Community.girvan_newman ~target:2 ~pool g).Community.labels in
+      let labels pool =
+        (Community.girvan_newman ~target:2 ~pool g).Community.partition.Community.labels
+      in
       eb pool4 = eb pool4
       && eb pool2 = eb pool4
       && bc pool2 = bc pool4
