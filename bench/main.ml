@@ -6,9 +6,12 @@
 
    Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
             table1 table2 fig4 fig10 fig11 ablation micro micro-par gn
+            pipeline
 
-   Flags: --json PATH     write the `gn` target's telemetry as JSON
+   Flags: --json PATH     write the `gn`/`pipeline` target's telemetry as JSON
           --domains N     pool size for the parallel `gn` runs (default 4)
+          --trace PATH    record the run under lib/obs and write a Chrome
+                          trace-event JSON (`gn` and `pipeline` targets)
 
    Each experiment target regenerates the corresponding paper artifact at
    the "paper" model scale and prints the same rows/series the paper
@@ -16,7 +19,10 @@
    detection outcomes, failure-rate tables and degree distributions.  The
    `micro` target runs Bechamel timings of the pipeline stages; `gn`
    benchmarks exact Girvan–Newman (reference vs component-incremental
-   CSR engine, sequential and pooled) on a clustered fixture. *)
+   CSR engine, sequential and pooled) on a clustered fixture; `pipeline`
+   runs the end-to-end slice-and-refine fixture twice — uninstrumented,
+   then under lib/obs tracing — checks the results are identical, and
+   writes the per-stage telemetry (BENCH_pipeline.json). *)
 
 open Rca_experiments
 module MG = Rca_metagraph.Metagraph
@@ -294,8 +300,9 @@ let json_escape s =
       | c -> String.make 1 c)
       (List.init (String.length s) (String.get s)))
 
-let run_gn_bench ~json ~domains () =
+let run_gn_bench ?(trace = None) ~json ~domains () =
   hr ();
+  if trace <> None then Rca_obs.Obs.enable ();
   ignore
     (time "gn" (fun () ->
          let clusters = 10 and size = 80 and intra_m = 300 and bridges = 2 in
@@ -368,7 +375,105 @@ let run_gn_bench ~json ~domains () =
              Printf.fprintf oc "  ]\n}\n";
              close_out oc;
              Printf.printf "  telemetry written to %s\n%!" path);
+         (match trace with
+         | None -> ()
+         | Some path ->
+             Rca_obs.Obs.disable ();
+             Rca_obs.Obs.write_chrome_trace path;
+             Printf.printf "  chrome trace written to %s\n%!" path);
          !runs))
+
+(* --- end-to-end pipeline benchmark under tracing (pipeline) ----------------------------- *)
+
+(* The GOFFGRATCH slice-and-refine loop (small scale, simulated
+   sampling, no ensemble runs) executed twice: once uninstrumented,
+   once with lib/obs recording.  The two results must be identical —
+   instrumentation only observes — and the instrumented run's per-stage
+   spans/counters become BENCH_pipeline.json (plus a Chrome trace with
+   --trace).  Exits non-zero on any difference, so CI fails loudly if
+   tracing ever perturbs the pipeline. *)
+let run_pipeline_bench ~json ~trace ~domains () =
+  hr ();
+  let outcome =
+    time "pipeline" (fun () ->
+        let config = Rca_synth.Config.small in
+        let fixture = Fixture.make ~inject:Experiments.goffgratch.Harness.inject config in
+        let bug_nodes =
+          Fixture.bug_nodes fixture ~canonicals:Experiments.goffgratch.Harness.bug_canonicals
+        in
+        let detect = Rca_core.Detector.reachability fixture.Fixture.mg ~bug_nodes in
+        let run () =
+          Rca_core.Pipeline.run ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
+            ~gn_approx:128 ~stop_size:30 ~domains fixture.Fixture.mg
+            ~outputs:[ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ]
+            ~detect
+        in
+        let timeit f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let plain, t_plain = timeit run in
+        Rca_obs.Obs.enable ();
+        let traced, t_traced = timeit run in
+        Rca_obs.Obs.disable ();
+        let open Rca_core in
+        let identical =
+          plain.Pipeline.slice.Slice.nodes = traced.Pipeline.slice.Slice.nodes
+          && plain.Pipeline.slice.Slice.targets = traced.Pipeline.slice.Slice.targets
+          && plain.Pipeline.result = traced.Pipeline.result
+        in
+        let r = plain.Pipeline.result in
+        Printf.printf
+          "end-to-end pipeline (GOFFGRATCH, small scale, %d domain%s): slice %d nodes, %d \
+           iterations, outcome %s\n"
+          domains
+          (if domains = 1 then "" else "s")
+          (Slice.size plain.Pipeline.slice)
+          (List.length r.Refine.iterations)
+          (Refine.outcome_string r.Refine.outcome);
+        Printf.printf "  uninstrumented %8.3f s\n  instrumented   %8.3f s   results %s\n%!"
+          t_plain t_traced
+          (if identical then "identical" else "MISMATCH");
+        List.iter
+          (fun name ->
+            let c = Rca_obs.Obs.span_count name in
+            if c > 0 then
+              Printf.printf "  %-24s %5d spans %10.3f ms\n" name c
+                (Rca_obs.Obs.span_total_ms name))
+          [
+            "pipeline.run"; "slice.of_internals"; "refine.run"; "refine.iteration";
+            "refine.detect"; "gn.step"; "gn.recompute"; "brandes.csr_sources";
+            "centrality.eigenvector"; "pool.run_chunks";
+          ];
+        (match trace with
+        | None -> ()
+        | Some path ->
+            Rca_obs.Obs.write_chrome_trace path;
+            Printf.printf "  chrome trace written to %s\n%!" path);
+        (match json with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Printf.fprintf oc
+              "{\n  \"bench\": \"pipeline\",\n  \"scale\": \"small\",\n  \"domains\": %d,\n  \
+               \"slice_nodes\": %d,\n  \"iterations\": %d,\n  \"outcome\": \"%s\",\n  \
+               \"seconds_uninstrumented\": %.6f,\n  \"seconds_instrumented\": %.6f,\n  \
+               \"identical\": %b,\n  \"obs\": %s\n}\n"
+              domains
+              (Rca_core.Slice.size plain.Pipeline.slice)
+              (List.length r.Refine.iterations)
+              (Refine.outcome_string r.Refine.outcome)
+              t_plain t_traced identical
+              (Rca_obs.Obs.summary_json ());
+            close_out oc;
+            Printf.printf "  telemetry written to %s\n%!" path);
+        identical)
+  in
+  if not outcome then begin
+    Printf.eprintf "pipeline bench: instrumented and uninstrumented results DIFFER\n";
+    exit 1
+  end
 
 (* --- driver ---------------------------------------------------------------------------- *)
 
@@ -383,7 +488,7 @@ let all_experiments =
     ("dyn3bug", Experiments.dyn3bug);
   ]
 
-let run_target ~json ~domains = function
+let run_target ~json ~trace ~domains = function
   | "ablation" -> run_ablation ()
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
@@ -392,7 +497,8 @@ let run_target ~json ~domains = function
   | "fig11" -> run_fig11 ()
   | "micro" -> microbenchmarks ()
   | "micro-par" -> run_micro_par ()
-  | "gn" -> run_gn_bench ~json ~domains ()
+  | "gn" -> run_gn_bench ~trace ~json ~domains ()
+  | "pipeline" -> run_pipeline_bench ~json ~trace ~domains ()
   | name -> (
       match List.assoc_opt name all_experiments with
       | Some spec -> run_experiment spec
@@ -400,27 +506,29 @@ let run_target ~json ~domains = function
           Printf.eprintf "unknown target %S\n" name;
           exit 1)
 
-(* Split "--json PATH" / "--domains N" flags out of the target list. *)
+(* Split "--json PATH" / "--trace PATH" / "--domains N" flags out of the
+   target list. *)
 let parse_args args =
-  let rec go targets json domains = function
-    | [] -> (List.rev targets, json, domains)
-    | "--json" :: path :: rest -> go targets (Some path) domains rest
+  let rec go targets json trace domains = function
+    | [] -> (List.rev targets, json, trace, domains)
+    | "--json" :: path :: rest -> go targets (Some path) trace domains rest
+    | "--trace" :: path :: rest -> go targets json (Some path) domains rest
     | "--domains" :: d :: rest -> (
         match int_of_string_opt d with
-        | Some d when d >= 1 -> go targets json d rest
+        | Some d when d >= 1 -> go targets json trace d rest
         | _ ->
             Printf.eprintf "--domains expects a positive integer, got %S\n" d;
             exit 1)
-    | ("--json" | "--domains") :: [] ->
+    | ("--json" | "--trace" | "--domains") :: [] ->
         Printf.eprintf "missing value for flag\n";
         exit 1
-    | t :: rest -> go (t :: targets) json domains rest
+    | t :: rest -> go (t :: targets) json trace domains rest
   in
-  go [] None 4 args
+  go [] None None 4 args
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
-  let targets, json, domains = parse_args args in
+  let targets, json, trace, domains = parse_args args in
   match targets with
   | [] ->
       Printf.printf "climate-rca reproduction harness (model scale: paper, %d modules)\n\n"
@@ -434,5 +542,6 @@ let () =
       run_ablation ();
       microbenchmarks ();
       run_micro_par ();
-      run_gn_bench ~json ~domains ()
-  | targets -> List.iter (run_target ~json ~domains) targets
+      run_gn_bench ~trace ~json ~domains ();
+      run_pipeline_bench ~json:None ~trace:None ~domains ()
+  | targets -> List.iter (run_target ~json ~trace ~domains) targets

@@ -136,8 +136,18 @@ let modules_cmd =
 
 (* --- experiment ------------------------------------------------------------------- *)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Record the run's pipeline spans and counters (lib/obs) and write them as \
+           Chrome trace-event JSON to $(docv) — load in chrome://tracing or Perfetto.  \
+           Tracing never changes results.")
+
 let experiment_cmd =
-  let run config members runtime domains name =
+  let run config members runtime domains trace name =
     match Experiments.find name with
     | None ->
         Printf.eprintf "unknown experiment %S (wsubbug|rand-mt|goffgratch|avx2|avx2-full|randombug|dyn3bug)\n" name;
@@ -151,7 +161,14 @@ let experiment_cmd =
             domains;
           }
         in
+        if trace <> None then Rca_obs.Obs.enable ();
         let r = Harness.run spec p in
+        (match trace with
+        | None -> ()
+        | Some path ->
+            Rca_obs.Obs.disable ();
+            Rca_obs.Obs.write_chrome_trace path;
+            Printf.printf "chrome trace written to %s\n" path);
         Format.printf "%a@." Harness.pp r;
         if spec.Harness.name = "AVX2" then
           Format.printf "%a@." Avx2_kernel.pp (Avx2_kernel.analyze r);
@@ -170,7 +187,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one paper experiment end to end")
-    Term.(const run $ scale_arg $ members_arg $ runtime_arg $ domains_arg $ name_arg)
+    Term.(const run $ scale_arg $ members_arg $ runtime_arg $ domains_arg $ trace_arg $ name_arg)
 
 (* --- table1 ------------------------------------------------------------------------ *)
 

@@ -15,6 +15,15 @@ type t = {
    and refine with the given detector. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
     ?gn_approx ?domains (mg : MG.t) ~outputs ~detect : t =
+  Rca_obs.Obs.span' "pipeline.run"
+    (fun t ->
+      [
+        ("outputs", Rca_obs.Obs.Int (List.length outputs));
+        ("slice_nodes", Rca_obs.Obs.Int (Slice.size t.slice));
+        ("iterations", Rca_obs.Obs.Int (List.length t.result.Refine.iterations));
+        ("outcome", Rca_obs.Obs.Str (Refine.outcome_string t.result.Refine.outcome));
+      ])
+  @@ fun () ->
   let slice = Slice.of_outputs ?keep_module ~min_cluster mg outputs in
   let result =
     Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx ?domains
@@ -38,14 +47,16 @@ let candidates (mg : MG.t) t =
 (* Did the refinement isolate (or directly sample) any of the given bug
    nodes? *)
 let located_bugs (_mg : MG.t) t ~bug_nodes =
+  (* Both membership tests are hash-set lookups: [List.mem] over the
+     concatenation of every iteration's detections made this quadratic
+     in refinements x bug nodes.  [bug_nodes] order is preserved. *)
   let final = Hashtbl.create 64 in
   List.iter (fun v -> Hashtbl.replace final v ()) t.result.Refine.final_nodes;
-  let sampled_detected =
-    List.concat_map (fun it -> it.Refine.detected) t.result.Refine.iterations
-  in
-  List.filter
-    (fun b -> Hashtbl.mem final b || List.mem b sampled_detected)
-    bug_nodes
+  let detected = Hashtbl.create 64 in
+  List.iter
+    (fun it -> List.iter (fun v -> Hashtbl.replace detected v ()) it.Refine.detected)
+    t.result.Refine.iterations;
+  List.filter (fun b -> Hashtbl.mem final b || Hashtbl.mem detected b) bug_nodes
 
 let pp_iteration mg ppf (i, (it : Refine.iteration)) =
   Format.fprintf ppf "iteration %d: %d nodes, %d edges, %d communities (sizes %s)@." i

@@ -133,6 +133,12 @@ let smallest_ancestry (mg : MG.t) nodes detected =
               (List.hd detected, size (List.hd detected))
               (List.tl detected)))
 
+let outcome_string = function
+  | Converged -> "converged"
+  | Fixed_point -> "fixed-point"
+  | Exhausted -> "exhausted"
+  | Emptied -> "emptied"
+
 let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_size = 30)
     ?gn_approx ?partitioner ?measure ?choose_when_stuck ?(domains = 1) (mg : MG.t)
     ~initial ~(detect : Detector.t) : result =
@@ -141,69 +147,123 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
      [domains <= 1] keeps today's sequential code paths byte-for-byte. *)
   let run_with pool =
   let iterations = ref [] in
-  let rec loop nodes budget =
+  let finish outcome final_nodes =
+    { iterations = List.rev !iterations; final_nodes; outcome }
+  in
+  let rec loop iter_no nodes budget =
     let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
+    (* [nodes] is sorted-unique with every id valid, so the induced
+       subgraph's node count equals [List.length nodes] — the membership
+       and fixed-point checks below reuse it instead of re-walking the
+       lists each iteration. *)
     let n_nodes = G.Digraph.n sub.G.Digraph.graph in
     let n_edges = G.Digraph.m sub.G.Digraph.graph in
-    if n_nodes <= stop_size then { iterations = List.rev !iterations; final_nodes = nodes; outcome = Converged }
-    else if budget = 0 then
-      { iterations = List.rev !iterations; final_nodes = nodes; outcome = Exhausted }
+    if n_nodes <= stop_size then finish Converged nodes
+    else if budget = 0 then finish Exhausted nodes
     else begin
-      let communities =
-        communities_of mg ?gn_approx ~min_community ?partitioner ?pool nodes
+      let decision =
+        Rca_obs.Obs.span' "refine.iteration"
+          (fun d ->
+            let common =
+              [
+                ("iteration", Rca_obs.Obs.Int iter_no);
+                ("nodes", Rca_obs.Obs.Int n_nodes);
+                ("edges", Rca_obs.Obs.Int n_edges);
+              ]
+            in
+            match d with
+            | `Stop (_, outcome) ->
+                common @ [ ("outcome", Rca_obs.Obs.Str (outcome_string outcome)) ]
+            | `Continue (_, next_count, it) ->
+                common
+                @ [
+                    ("communities", Rca_obs.Obs.Int (List.length it.communities));
+                    ("sampled", Rca_obs.Obs.Int (List.length it.sampled));
+                    ("detected", Rca_obs.Obs.Int (List.length it.detected));
+                    ("next_nodes", Rca_obs.Obs.Int next_count);
+                  ])
+        @@ fun () ->
+        let communities =
+          communities_of mg ?gn_approx ~min_community ?partitioner ?pool nodes
+        in
+        if communities = [] then
+          (* increasingly disconnected graph: no communities left to split
+             (the paper's "bug not in any community" caveat) *)
+          `Stop (nodes, Fixed_point)
+        else begin
+          let sampled_by_community =
+            List.map (central_nodes mg ~m_sample ?measure ?pool) communities
+          in
+          let sampled = List.sort_uniq compare (List.concat sampled_by_community) in
+          let detected =
+            Rca_obs.Obs.span "refine.detect" (fun () ->
+                List.sort_uniq compare (detect sampled))
+          in
+          (* Each branch also yields |next| so the refinement checks run
+             on counters instead of O(n) list walks per iteration. *)
+          let next, n_next =
+            if detected = [] then begin
+              (* 8a: discard everything that can influence the sampled nodes *)
+              let infl = Hashtbl.create 256 in
+              List.iter
+                (fun v -> Hashtbl.replace infl v ())
+                (ancestors_within mg nodes sampled);
+              let kept = ref 0 in
+              let next =
+                List.filter
+                  (fun v ->
+                    let keep = not (Hashtbl.mem infl v) in
+                    if keep then incr kept;
+                    keep)
+                  nodes
+              in
+              (next, !kept)
+            end
+            else begin
+              let anc = ancestors_within mg nodes detected in
+              (anc, List.length anc)
+            end
+          in
+          iterations :=
+            { nodes; n_nodes; n_edges; communities; sampled_by_community; sampled; detected }
+            :: !iterations;
+          let next, n_next =
+            (* non-refining 8b step: fall back to the single-node narrowing
+               strategy when one is given *)
+            if detected <> [] && n_next = n_nodes then
+              match choose_when_stuck with
+              | Some choose -> (
+                  match choose nodes detected with
+                  | Some v ->
+                      let anc = ancestors_within mg nodes [ v ] in
+                      (anc, List.length anc)
+                  | None -> (next, n_next))
+              | None -> (next, n_next)
+            else (next, n_next)
+          in
+          if n_next = 0 then `Stop ([], Emptied)
+          else if n_next = n_nodes then
+            (* non-refining iteration: the induced subgraph equals the
+               previous one (paper GOFFGRATCH second iteration) *)
+            `Stop (nodes, Fixed_point)
+          else `Continue (next, n_next, List.hd !iterations)
+        end
       in
-      if communities = [] then
-        (* increasingly disconnected graph: no communities left to split
-           (the paper's "bug not in any community" caveat) *)
-        { iterations = List.rev !iterations; final_nodes = nodes; outcome = Fixed_point }
-      else begin
-        let sampled_by_community =
-          List.map (central_nodes mg ~m_sample ?measure ?pool) communities
-        in
-        let sampled = List.sort_uniq compare (List.concat sampled_by_community) in
-        let detected = List.sort_uniq compare (detect sampled) in
-        let next =
-          if detected = [] then begin
-            (* 8a: discard everything that can influence the sampled nodes *)
-            let influencers = ancestors_within mg nodes sampled in
-            let infl = Hashtbl.create 256 in
-            List.iter (fun v -> Hashtbl.replace infl v ()) influencers;
-            List.filter (fun v -> not (Hashtbl.mem infl v)) nodes
-          end
-          else ancestors_within mg nodes detected
-        in
-        iterations :=
-          { nodes; n_nodes; n_edges; communities; sampled_by_community; sampled; detected }
-          :: !iterations;
-        let next =
-          (* non-refining 8b step: fall back to the single-node narrowing
-             strategy when one is given *)
-          if detected <> [] && List.length next = List.length nodes then
-            match choose_when_stuck with
-            | Some choose -> (
-                match choose nodes detected with
-                | Some v -> ancestors_within mg nodes [ v ]
-                | None -> next)
-            | None -> next
-          else next
-        in
-        if next = [] then
-          { iterations = List.rev !iterations; final_nodes = []; outcome = Emptied }
-        else if List.length next = List.length nodes then
-          (* non-refining iteration: the induced subgraph equals the
-             previous one (paper GOFFGRATCH second iteration) *)
-          { iterations = List.rev !iterations; final_nodes = nodes; outcome = Fixed_point }
-        else loop next (budget - 1)
-      end
+      match decision with
+      | `Stop (final, outcome) -> finish outcome final
+      | `Continue (next, _, _) -> loop (iter_no + 1) next (budget - 1)
     end
   in
-  loop (List.sort_uniq compare initial) max_iterations
+  loop 1 (List.sort_uniq compare initial) max_iterations
   in
+  Rca_obs.Obs.span' "refine.run"
+    (fun r ->
+      [
+        ("domains", Rca_obs.Obs.Int domains);
+        ("iterations", Rca_obs.Obs.Int (List.length r.iterations));
+        ("final_nodes", Rca_obs.Obs.Int (List.length r.final_nodes));
+        ("outcome", Rca_obs.Obs.Str (outcome_string r.outcome));
+      ])
+  @@ fun () ->
   if domains > 1 then G.Pool.with_pool domains (fun p -> run_with (Some p))
   else run_with None
-
-let outcome_string = function
-  | Converged -> "converged"
-  | Fixed_point -> "fixed-point"
-  | Exhausted -> "exhausted"
-  | Emptied -> "emptied"

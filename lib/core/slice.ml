@@ -83,6 +83,14 @@ let drop_small_clusters (mg : MG.t) nodes ~min_cluster =
 (* Slice on internal canonical names. *)
 let of_internals ?(keep_module = fun _ -> true) ?(min_cluster = 1) (mg : MG.t) internals : t
     =
+  Rca_obs.Obs.span' "slice.of_internals"
+    (fun t ->
+      [
+        ("internals", Rca_obs.Obs.Int (List.length internals));
+        ("targets", Rca_obs.Obs.Int (List.length t.targets));
+        ("nodes", Rca_obs.Obs.Int (List.length t.nodes));
+      ])
+  @@ fun () ->
   let targets = target_nodes mg internals in
   let nodes = restricted_ancestors mg ~keep_module targets in
   let nodes = drop_small_clusters mg nodes ~min_cluster in

@@ -96,6 +96,10 @@ let merge_acc into src =
 
 let compute_sources ?pool g sources =
   let nsources = Array.length sources in
+  Rca_obs.Obs.span
+    ~args:[ ("sources", Rca_obs.Obs.Int nsources); ("nodes", Rca_obs.Obs.Int (Digraph.n g)) ]
+    "brandes.ref_sources"
+  @@ fun () ->
   match pool with
   | Some p when Pool.size p > 1 && nsources > 0 ->
       let chunks = (nsources + chunk_sources - 1) / chunk_sources in
@@ -207,6 +211,10 @@ let merge_csr_acc into src =
 
 let csr_compute_sources ?pool ?alive (csr : Csr.t) sources =
   let nsources = Array.length sources in
+  Rca_obs.Obs.span
+    ~args:[ ("sources", Rca_obs.Obs.Int nsources); ("nodes", Rca_obs.Obs.Int csr.Csr.n) ]
+    "brandes.csr_sources"
+  @@ fun () ->
   match pool with
   | Some p when Pool.size p > 1 && nsources > 0 ->
       let chunks = (nsources + chunk_sources - 1) / chunk_sources in

@@ -38,6 +38,10 @@ let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) ?pool g =
   let n = Digraph.n g in
   if n = 0 then [||]
   else begin
+    let sweeps = ref 0 in
+    Rca_obs.Obs.span' "centrality.eigenvector"
+      (fun _ -> [ ("nodes", Rca_obs.Obs.Int n); ("sweeps", Rca_obs.Obs.Int !sweeps) ])
+    @@ fun () ->
     let csr =
       match direction with
       | In -> Csr.transpose (Csr.of_digraph g)
@@ -70,6 +74,7 @@ let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) ?pool g =
     let rec iterate k x x' =
       if k = 0 then x
       else begin
+        incr sweeps;
         sweep x x';
         let x'' = l2_normalize x' in
         let delta = ref 0.0 in
@@ -163,9 +168,16 @@ let non_backtracking ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) g =
   let m = Array.length edge_arr in
   if m = 0 then Array.make n 0.0
   else begin
-    (* out_edge_ids.(v) = ids of edges leaving v *)
+    (* out_edge_ids.(v) = ids of edges leaving v, in [Digraph] adjacency
+       order (= ascending edge id, since [Digraph.edges] lists each
+       node's out-edges consecutively in [succ] order).  Building by
+       cons alone would visit out-edges in *reverse* adjacency order,
+       which permutes the float accumulation below — the deterministic-
+       summation convention of the CSR eigenvector path fixes adjacency
+       order, so each cons list is reversed back into it. *)
     let out_edge_ids = Array.make n [] in
     Array.iteri (fun e (u, _) -> out_edge_ids.(u) <- e :: out_edge_ids.(u)) edge_arr;
+    Array.iteri (fun v ids -> out_edge_ids.(v) <- List.rev ids) out_edge_ids;
     let x = Array.make m (1.0 /. float_of_int m) in
     let rec iterate k =
       if k = 0 then ()

@@ -232,13 +232,20 @@ let incremental_driver ?approx ?pool g =
   (* Initial scores: one global computation over the fixed source set —
      the exact computation (and, under a pool, the exact chunk
      structure) the reference performs before its first removal. *)
-  let initial = Betweenness.csr_compute_sources ?pool ~alive csr sources in
+  let initial =
+    Rca_obs.Obs.span "gn.initial_scores" (fun () ->
+        Betweenness.csr_compute_sources ?pool ~alive csr sources)
+  in
   Array.blit initial.Betweenness.csr_edge_bc 0 edge_bc 0 m;
   (* Sequential per-component scratch, reused across removals; the
      reset-in-O(visited) contract keeps small components cheap. *)
   let scratch = Betweenness.make_csr_scratch csr in
   let scratch_node_bc = Array.make n 0.0 in
   let recompute nodes =
+    Rca_obs.Obs.span
+      ~args:[ ("component_nodes", Rca_obs.Obs.Int (Array.length nodes)) ]
+      "gn.recompute"
+    @@ fun () ->
     Array.iter
       (fun u ->
         for i = row.(u) to row.(u + 1) - 1 do
@@ -246,6 +253,8 @@ let incremental_driver ?approx ?pool g =
         done)
       nodes;
     let srcs = Array.to_list nodes |> List.filter (fun v -> is_source.(v)) |> Array.of_list in
+    Rca_obs.Obs.incr "gn.components_rescored";
+    Rca_obs.Obs.incr ~by:(Array.length srcs) "gn.sources_rescored";
     (* The pool pays a broadcast + barrier per batch, so hand it only
        components spanning at least two source chunks; a single-chunk
        batch accumulates its sources in order, which is the same float
@@ -268,6 +277,7 @@ let incremental_driver ?approx ?pool g =
           srcs
   in
   let best_edge () =
+    Rca_obs.Obs.incr ~by:m "gn.argmax_arcs_scanned";
     Betweenness.argmax_edge (fun f ->
         for i = 0 to m - 1 do
           (* Alive arcs of the symmetric working graph come in pairs, so
@@ -349,17 +359,33 @@ let gn_step_with driver ?(max_removals = 2000) () =
 let gn_target_with driver ?(max_removals = 2000) ~target () =
   gn_run driver ~max_removals ~stop:(fun ~ncomps ~arcs -> ncomps >= target || arcs = 0)
 
+(* Telemetry for one G-N entry: removals performed and resulting
+   community count, tagged with the engine that ran. *)
+let gn_span name engine f =
+  Rca_obs.Obs.span' name
+    (fun s ->
+      [
+        ("engine", Rca_obs.Obs.Str engine);
+        ("removals", Rca_obs.Obs.Int (List.length s.removed_edges));
+        ("communities", Rca_obs.Obs.Int (community_count s.partition));
+      ])
+    f
+
 let girvan_newman_step ?approx ?pool ?max_removals g =
-  gn_step_with (incremental_driver ?approx ?pool g) ?max_removals ()
+  gn_span "gn.step" "incremental" (fun () ->
+      gn_step_with (incremental_driver ?approx ?pool g) ?max_removals ())
 
 let girvan_newman ?approx ?pool ?max_removals ~target g =
-  gn_target_with (incremental_driver ?approx ?pool g) ?max_removals ~target ()
+  gn_span "gn.run" "incremental" (fun () ->
+      gn_target_with (incremental_driver ?approx ?pool g) ?max_removals ~target ())
 
 let girvan_newman_step_reference ?approx ?pool ?max_removals g =
-  gn_step_with (reference_driver ?approx ?pool g) ?max_removals ()
+  gn_span "gn.step" "reference" (fun () ->
+      gn_step_with (reference_driver ?approx ?pool g) ?max_removals ())
 
 let girvan_newman_reference ?approx ?pool ?max_removals ~target g =
-  gn_target_with (reference_driver ?approx ?pool g) ?max_removals ~target ()
+  gn_span "gn.run" "reference" (fun () ->
+      gn_target_with (reference_driver ?approx ?pool g) ?max_removals ~target ())
 
 (* Asynchronous label propagation (Raghavan et al. 2007) on the symmetrized
    view, deterministic given the seed.  Fast alternative partitioner. *)

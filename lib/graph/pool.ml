@@ -95,19 +95,31 @@ let run_chunks t ~chunks f =
     let failure = Atomic.make None in
     let participate () =
       let continue_ = ref true in
+      let mine = ref 0 in
       while !continue_ do
         let c = Atomic.fetch_and_add next 1 in
         if c >= chunks then continue_ := false
         else
           match f c with
-          | r -> results.(c) <- Some r
+          | r ->
+              results.(c) <- Some r;
+              incr mine
           | exception e ->
               ignore (Atomic.compare_and_set failure None (Some e));
               (* starve the other participants of further chunks *)
               Atomic.set next chunks
-      done
+      done;
+      (* chunk utilization per domain: how evenly the steal spread work *)
+      if !mine > 0 && Rca_obs.Obs.enabled () then
+        Rca_obs.Obs.incr ~by:!mine
+          ("pool.chunks.d" ^ string_of_int (Domain.self () :> int))
     in
-    run_job t participate;
+    Rca_obs.Obs.span
+      ~args:[ ("chunks", Rca_obs.Obs.Int chunks); ("size", Rca_obs.Obs.Int t.size) ]
+      "pool.run_chunks"
+      (fun () -> run_job t participate);
+    Rca_obs.Obs.incr "pool.batches";
+    Rca_obs.Obs.incr ~by:chunks "pool.chunks";
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.map (function Some r -> r | None -> assert false) results
   end

@@ -1,0 +1,77 @@
+(** Pipeline-wide tracing and metrics: span-scoped wall-clock timers,
+    named counters and gauges, recorded into one global process-wide
+    buffer and emitted as Chrome trace-event JSON or a flat JSON
+    summary.
+
+    Everything is a no-op until {!enable}: a disabled {!span} costs one
+    atomic load before running its body, a disabled {!incr} one atomic
+    load and a branch — cheap enough to leave in the Girvan–Newman
+    removal loop permanently.  Recording is domain-safe (one mutex,
+    taken only when enabled), and instrumentation never influences the
+    instrumented computation: enabled and disabled runs produce
+    bitwise-identical results. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type span_record = {
+  span_name : string;
+  ts_us : float;  (** start, microseconds since {!enable} *)
+  dur_us : float;
+  tid : int;  (** recording domain id *)
+  span_args : (string * arg) list;
+}
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Clear any recorded data and start recording. *)
+
+val disable : unit -> unit
+(** Stop recording; already-recorded data stays readable until the next
+    {!enable} or {!reset}. *)
+
+val reset : unit -> unit
+
+val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when enabled, records a span covering the
+    call.  An exception is recorded (with a ["raised"] arg) and
+    re-raised. *)
+
+val span' : string -> ('a -> (string * arg) list) -> (unit -> 'a) -> 'a
+(** Like {!span}, but the args are computed from [f]'s result — and only
+    when enabled, so result-derived telemetry costs nothing when off. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a named counter. *)
+
+val gauge : string -> float -> unit
+(** Set a named gauge (last write wins). *)
+
+(** {1 Introspection} *)
+
+val spans : unit -> span_record list
+(** Recorded spans, oldest first. *)
+
+val counters : unit -> (string * int) list
+(** Counter values, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+val counter_value : string -> int
+val span_count : string -> int
+val span_total_ms : string -> float
+
+(** {1 Emitters} *)
+
+val chrome_trace_json : unit -> string
+(** The recorded spans as Chrome trace-event JSON (object form, ["X"]
+    complete events, microsecond timestamps); final counter values ride
+    along as one instant event.  Loadable in chrome://tracing or
+    Perfetto. *)
+
+val summary_json : unit -> string
+(** Flat aggregate JSON: per-span-name [count]/[total_ms]/[mean_ms]/
+    [max_ms], counters and gauges, keys sorted — the shape
+    [BENCH_pipeline.json] embeds. *)
+
+val write_chrome_trace : string -> unit
+val write_summary : string -> unit

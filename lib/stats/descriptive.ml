@@ -17,13 +17,19 @@ let variance xs =
 
 let std xs = sqrt (variance xs)
 
-(* Linear-interpolated quantile, q in [0,1]. *)
+(* Linear-interpolated quantile, q in [0,1].  Sorting with polymorphic
+   [compare] ranked NaNs in an arbitrary (representation-dependent)
+   position and boxed every element; [Float.compare] keeps the IEEE
+   order for real numbers, and NaN inputs — for which no quantile is
+   meaningful — are rejected outright so median/IQR variable selection
+   can never silently rank on a NaN ordering. *)
 let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Descriptive.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of range";
+  if Array.exists Float.is_nan xs then invalid_arg "Descriptive.quantile: NaN input";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
   let hi = int_of_float (Float.ceil pos) in

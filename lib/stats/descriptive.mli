@@ -11,7 +11,9 @@ val std : float array -> float
 
 val quantile : float array -> float -> float
 (** Linear-interpolated quantile, [q] in [\[0,1\]]; input need not be
-    sorted. *)
+    sorted.  Raises [Invalid_argument] on an empty array, [q] outside
+    [\[0,1\]], or any NaN element (a quantile of NaNs is meaningless and
+    would otherwise rank on an arbitrary ordering). *)
 
 val median : float array -> float
 

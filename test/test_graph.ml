@@ -361,6 +361,29 @@ let non_backtracking_ignores_isolated () =
   Alcotest.(check (float 1e-9)) "isolated node gets 0" 0.0 c.(3);
   check_bool "cycle nodes positive" true (c.(0) > 0.0)
 
+let non_backtracking_pinned_ranking () =
+  (* Regression pin: [non_backtracking] must feed each arc's score in
+     Digraph adjacency order (the repo-wide deterministic float-summation
+     convention).  An earlier version built [out_edge_ids] by cons and
+     left it reversed, summing in the opposite order; these digits pin
+     the adjacency-order result. *)
+  let g = Gen.gnm ~seed:11 ~n:12 ~m:30 in
+  let c = Centrality.non_backtracking ~direction:Centrality.In g in
+  let expect =
+    [
+      (10, 0.804014817568); (8, 0.710244756493); (6, 0.554194344266);
+      (5, 0.475764811967); (9, 0.46563322194); (2, 0.388397545985);
+      (1, 0.347693409459); (7, 0.310808735054); (3, 0.261394831677);
+      (11, 0.222147575121); (4, 0.200642210606); (0, 0.183194058565);
+    ]
+  in
+  let got = Centrality.top_k c 12 in
+  Alcotest.(check (list int)) "ranking order" (List.map fst expect) (List.map fst got);
+  List.iter2
+    (fun (v, want) (_, score) ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "score of %d" v) want score)
+    expect got
+
 let rank_deterministic_ties () =
   let scores = [| 1.0; 3.0; 3.0; 0.5 |] in
   Alcotest.(check (array int)) "rank" [| 1; 2; 0; 3 |] (Centrality.rank scores)
@@ -615,6 +638,7 @@ let () =
           Alcotest.test_case "katz positive" `Quick katz_positive;
           Alcotest.test_case "nbt cycle" `Quick non_backtracking_cycle_uniform;
           Alcotest.test_case "nbt isolated" `Quick non_backtracking_ignores_isolated;
+          Alcotest.test_case "nbt pinned ranking" `Quick non_backtracking_pinned_ranking;
           Alcotest.test_case "rank ties" `Quick rank_deterministic_ties;
           Alcotest.test_case "top_k" `Quick top_k_truncates;
         ] );

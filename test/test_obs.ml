@@ -1,0 +1,274 @@
+(* Tests for rca_obs (span recording, counters, disabled no-op contract,
+   emitter well-formedness) and the determinism contract the pipeline's
+   instrumentation depends on: enabled vs disabled runs of the full
+   pipeline on the two-cluster fixture yield identical results, with one
+   refine.iteration span per recorded iteration. *)
+
+module MG = Rca_metagraph.Metagraph
+module G = Rca_graph
+module Obs = Rca_obs.Obs
+open Rca_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Obs primitives ------------------------------------------------------------ *)
+
+let disabled_records_nothing () =
+  Obs.reset ();
+  check_bool "disabled" false (Obs.enabled ());
+  check_int "span returns result" 7 (Obs.span "s" (fun () -> 7));
+  Obs.incr "c";
+  Obs.gauge "g" 1.0;
+  check_int "no spans" 0 (List.length (Obs.spans ()));
+  check_int "no counters" 0 (List.length (Obs.counters ()));
+  check_int "no gauges" 0 (List.length (Obs.gauges ()))
+
+let spans_recorded_in_order () =
+  Obs.enable ();
+  ignore (Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> 1)));
+  ignore (Obs.span ~args:[ ("k", Obs.Int 3) ] "tail" (fun () -> 2));
+  Obs.disable ();
+  (* spans close innermost-first; [spans] returns completion order *)
+  Alcotest.(check (list string)) "names" [ "inner"; "outer"; "tail" ]
+    (List.map (fun s -> s.Obs.span_name) (Obs.spans ()));
+  check_int "span_count" 1 (Obs.span_count "outer");
+  check_bool "durations nonneg" true
+    (List.for_all (fun s -> s.Obs.dur_us >= 0.0) (Obs.spans ()))
+
+let span_exception_recorded_and_reraised () =
+  Obs.enable ();
+  (try ignore (Obs.span "boom" (fun () -> failwith "x")) with Failure _ -> ());
+  Obs.disable ();
+  match Obs.spans () with
+  | [ s ] ->
+      Alcotest.(check string) "name" "boom" s.Obs.span_name;
+      check_bool "raised arg" true (List.mem_assoc "raised" s.Obs.span_args)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let counters_and_gauges () =
+  Obs.enable ();
+  Obs.incr "a";
+  Obs.incr ~by:4 "a";
+  Obs.incr "b";
+  Obs.gauge "g" 2.5;
+  Obs.gauge "g" 7.5;
+  Obs.disable ();
+  check_int "a" 5 (Obs.counter_value "a");
+  check_int "b" 1 (Obs.counter_value "b");
+  check_int "absent" 0 (Obs.counter_value "zzz");
+  Alcotest.(check (list (pair string (float 1e-9)))) "gauge last write wins"
+    [ ("g", 7.5) ] (Obs.gauges ())
+
+let span'_args_from_result () =
+  Obs.enable ();
+  let r = Obs.span' "s" (fun r -> [ ("result", Obs.Int r) ]) (fun () -> 42) in
+  Obs.disable ();
+  check_int "result" 42 r;
+  match Obs.spans () with
+  | [ s ] -> check_bool "arg carries result" true (List.mem ("result", Obs.Int 42) s.Obs.span_args)
+  | _ -> Alcotest.fail "expected one span"
+
+let enable_resets () =
+  Obs.enable ();
+  Obs.incr "stale";
+  ignore (Obs.span "stale" (fun () -> ()));
+  Obs.enable ();
+  Obs.disable ();
+  check_int "counters cleared" 0 (Obs.counter_value "stale");
+  check_int "spans cleared" 0 (Obs.span_count "stale")
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* Minimal structural validation: balanced braces/brackets outside
+   strings, expected top-level keys, every recorded span named. *)
+let json_balanced s =
+  let depth = ref 0 and in_str = ref false and esc = ref false and ok = ref true in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if c = '\\' then esc := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let emitters_well_formed () =
+  Obs.enable ();
+  ignore (Obs.span ~args:[ ("quote", Obs.Str "a\"b\\c\nd") ] "esc" (fun () -> ()));
+  Obs.incr "events";
+  Obs.gauge "nan_gauge" Float.nan;
+  Obs.disable ();
+  let trace = Obs.chrome_trace_json () in
+  check_bool "trace balanced" true (json_balanced trace);
+  check_bool "traceEvents key" true
+    (contains_substring trace "\"traceEvents\"");
+  check_bool "complete event" true (contains_substring trace "\"ph\":\"X\"");
+  let summary = Obs.summary_json () in
+  check_bool "summary balanced" true (json_balanced summary);
+  check_bool "span aggregated" true (contains_substring summary "\"esc\"");
+  (* non-finite gauge must not produce bare [nan] (invalid JSON) *)
+  check_bool "no bare nan" false (contains_substring summary ": nan")
+
+(* --- pipeline determinism under instrumentation --------------------------------- *)
+
+let build src = MG.build (Rca_fortran.Parser.parse_file ~strict:false ~file:"t.F90" src)
+
+let two_cluster_src =
+  {|
+module state_m
+  real(r8) :: t, u
+end module state_m
+
+module phys_m
+  use state_m
+  real(r8) :: p1, p2, p3, p4, heating
+contains
+  subroutine phys_run()
+    p1 = t * 2.0
+    p2 = p1 + t
+    p3 = p1 * p2
+    p4 = p3 + p2 + p1
+    heating = p4 * 0.5
+    t = t + heating
+    call outfld('heat', heating)
+  end subroutine phys_run
+end module phys_m
+
+module dyn_m
+  use state_m
+  real(r8) :: d1, d2, d3, momentum
+contains
+  subroutine dyn_run()
+    d1 = u * 0.9
+    d2 = d1 + u
+    d3 = d2 * d1
+    momentum = d3 + d2
+    u = u + momentum * 0.01
+    t = t + u * 0.001
+    call outfld('mom', momentum)
+  end subroutine dyn_run
+end module dyn_m
+|}
+
+let mg2 = lazy (build two_cluster_src)
+
+let find mg ~module_ ~canonical =
+  match
+    List.filter
+      (fun id -> (MG.node mg id).MG.module_ = module_)
+      (MG.nodes_with_canonical mg canonical)
+  with
+  | [ id ] -> id
+  | _ -> Alcotest.failf "node %s.%s not found/ambiguous" module_ canonical
+
+let run_pipeline mg bug =
+  let detect = Detector.reachability mg ~bug_nodes:[ bug ] in
+  Pipeline.run ~min_cluster:1 ~stop_size:3 mg ~outputs:[ "mom" ] ~detect
+
+let strip t =
+  (* everything result-shaped: slice, per-iteration records, outcome *)
+  ( t.Pipeline.slice.Slice.nodes,
+    t.Pipeline.slice.Slice.targets,
+    List.map
+      (fun it ->
+        Refine.(it.nodes, it.communities, it.sampled_by_community, it.sampled, it.detected))
+      t.Pipeline.result.Refine.iterations,
+    t.Pipeline.result.Refine.final_nodes,
+    t.Pipeline.result.Refine.outcome )
+
+let instrumented_run_identical () =
+  let mg = Lazy.force mg2 in
+  let bug = find mg ~module_:"dyn_m" ~canonical:"d1" in
+  Obs.reset ();
+  let plain = run_pipeline mg bug in
+  Obs.enable ();
+  let traced = run_pipeline mg bug in
+  Obs.disable ();
+  check_bool "results identical" true (strip plain = strip traced);
+  check_bool "located identical" true
+    (Pipeline.located_bugs mg plain ~bug_nodes:[ bug ]
+    = Pipeline.located_bugs mg traced ~bug_nodes:[ bug ]);
+  (* exactly one refine.iteration span per recorded iteration, nested
+     kernel spans present *)
+  check_int "iteration spans" (List.length traced.Pipeline.result.Refine.iterations)
+    (Obs.span_count "refine.iteration");
+  check_int "one pipeline.run span" 1 (Obs.span_count "pipeline.run");
+  check_int "one refine.run span" 1 (Obs.span_count "refine.run");
+  check_bool "gn spans recorded" true (Obs.span_count "gn.step" > 0);
+  check_bool "centrality spans recorded" true (Obs.span_count "centrality.eigenvector" > 0);
+  Obs.reset ()
+
+let located_bugs_matches_list_oracle () =
+  let mg = Lazy.force mg2 in
+  let bug = find mg ~module_:"dyn_m" ~canonical:"d1" in
+  let t = run_pipeline mg bug in
+  (* the pre-hash-set semantics, verbatim: membership in final nodes or
+     any iteration's detected list, checked with List.mem *)
+  let oracle bug_nodes =
+    let detected =
+      List.concat_map (fun it -> it.Refine.detected) t.Pipeline.result.Refine.iterations
+    in
+    List.filter
+      (fun b -> List.mem b t.Pipeline.result.Refine.final_nodes || List.mem b detected)
+      bug_nodes
+  in
+  let all_nodes = List.init (MG.n_nodes mg) Fun.id in
+  check_bool "hash-set rewrite = list oracle" true
+    (Pipeline.located_bugs mg t ~bug_nodes:all_nodes = oracle all_nodes);
+  check_bool "single bug" true (Pipeline.located_bugs mg t ~bug_nodes:[ bug ] = oracle [ bug ])
+
+let pool_counters_recorded () =
+  let g = G.Gen.gnm ~seed:3 ~n:120 ~m:400 in
+  Obs.enable ();
+  (* any pool size >= 2 is bitwise-identical to any other (fixed chunk
+     structure + deterministic tree reduction) *)
+  let p2 = G.Pool.with_pool 2 (fun p -> G.Betweenness.compute ~pool:p g) in
+  let p3 = G.Pool.with_pool 3 (fun p -> G.Betweenness.compute ~pool:p g) in
+  Obs.disable ();
+  check_bool "pool:2 = pool:3" true (p2.G.Betweenness.node_bc = p3.G.Betweenness.node_bc);
+  check_bool "batches counted" true (Obs.counter_value "pool.batches" > 0);
+  check_bool "chunks counted" true (Obs.counter_value "pool.chunks" > 0);
+  (* per-domain chunk utilization gauges ride on counters named
+     pool.chunks.d<id>; they must sum to the total *)
+  let per_domain =
+    List.fold_left
+      (fun acc (name, v) ->
+        if String.length name > 13 && String.sub name 0 13 = "pool.chunks.d" then acc + v
+        else acc)
+      0 (Obs.counters ())
+  in
+  check_int "per-domain chunks sum to total" (Obs.counter_value "pool.chunks") per_domain;
+  Obs.reset ()
+
+let () =
+  Alcotest.run "rca_obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "disabled no-op" `Quick disabled_records_nothing;
+          Alcotest.test_case "span order" `Quick spans_recorded_in_order;
+          Alcotest.test_case "span exception" `Quick span_exception_recorded_and_reraised;
+          Alcotest.test_case "counters gauges" `Quick counters_and_gauges;
+          Alcotest.test_case "span' args" `Quick span'_args_from_result;
+          Alcotest.test_case "enable resets" `Quick enable_resets;
+          Alcotest.test_case "emitters well-formed" `Quick emitters_well_formed;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "instrumented identical" `Quick instrumented_run_identical;
+          Alcotest.test_case "located_bugs oracle" `Quick located_bugs_matches_list_oracle;
+          Alcotest.test_case "pool counters" `Quick pool_counters_recorded;
+        ] );
+    ]

@@ -44,6 +44,29 @@ let empty_rejected () =
   Alcotest.check_raises "mean" (Invalid_argument "Descriptive.mean: empty") (fun () ->
       ignore (Descriptive.mean [||]))
 
+let quantile_nan_rejected () =
+  Alcotest.check_raises "nan input" (Invalid_argument "Descriptive.quantile: NaN input")
+    (fun () -> ignore (Descriptive.quantile [| 1.0; Float.nan; 3.0 |] 0.5));
+  Alcotest.check_raises "all nan" (Invalid_argument "Descriptive.quantile: NaN input")
+    (fun () -> ignore (Descriptive.quantile [| Float.nan |] 0.0))
+
+let quantile_single_element () =
+  let xs = [| 42.0 |] in
+  check_float "q0" 42.0 (Descriptive.quantile xs 0.0);
+  check_float "q0.5" 42.0 (Descriptive.quantile xs 0.5);
+  check_float "q1" 42.0 (Descriptive.quantile xs 1.0)
+
+let quantile_float_ordering () =
+  (* Negative zero, infinities and subnormals must rank by IEEE value
+     order — Float.compare, not the polymorphic compare on boxed
+     floats. *)
+  let xs = [| 0.0; -0.0; Float.infinity; Float.neg_infinity; 1e-310; -1.0 |] in
+  check_float "min is -inf" Float.neg_infinity (Descriptive.quantile xs 0.0);
+  check_float "max is +inf" Float.infinity (Descriptive.quantile xs 1.0);
+  (* sorted: [-inf; -1; -0; 0; 1e-310; +inf]; median interpolates
+     between -0 and 0 *)
+  check_float "median" 0.0 (Descriptive.quantile xs 0.5)
+
 (* --- Matrix / eigen ------------------------------------------------------------- *)
 
 let matmul_known () =
@@ -377,6 +400,9 @@ let () =
           Alcotest.test_case "iqr overlap" `Quick iqr_overlap_cases;
           Alcotest.test_case "standardize" `Quick standardize_degenerate;
           Alcotest.test_case "empty rejected" `Quick empty_rejected;
+          Alcotest.test_case "quantile NaN rejected" `Quick quantile_nan_rejected;
+          Alcotest.test_case "quantile single element" `Quick quantile_single_element;
+          Alcotest.test_case "quantile float ordering" `Quick quantile_float_ordering;
         ] );
       ( "matrix",
         [
