@@ -475,6 +475,57 @@ let run_pipeline_bench ~json ~trace ~domains () =
     exit 1
   end
 
+(* --- static analysis: lint + differential oracle on the small model ------------------- *)
+
+let run_lint_bench ~json () =
+  hr ();
+  let ok =
+    time "lint" (fun () ->
+        let module An = Rca_analysis.Analysis in
+        let module Or = Rca_analysis.Oracle in
+        let module Di = Rca_analysis.Diagnostics in
+        let config = Rca_synth.Config.small in
+        let fixture = Fixture.make config in
+        let timeit f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let an, t_analyze =
+          timeit (fun () -> An.analyze fixture.Fixture.covered_program)
+        in
+        let oracle, t_oracle = timeit (fun () -> An.check_oracle an fixture.Fixture.mg) in
+        let dead = An.dead_node_ids an fixture.Fixture.mg in
+        Printf.printf
+          "static analysis (small scale): %d subprograms, %d diagnostics, %d static-dead \
+           nodes\n"
+          (List.length an.An.subs) (List.length an.An.diags) (List.length dead);
+        Printf.printf
+          "  analyze  %8.3f s\n  oracle   %8.3f s   %d pairs / %d edges, %d mismatches, %d \
+           orphans\n%!"
+          t_analyze t_oracle oracle.Or.rp_pairs oracle.Or.rp_edges
+          (List.length oracle.Or.rp_mismatches)
+          (List.length oracle.Or.rp_orphans);
+        (match json with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Printf.fprintf oc
+              "{\n  \"bench\": \"lint\",\n  \"scale\": \"small\",\n  \"subprograms\": %d,\n  \
+               \"diagnostics\": %d,\n  \"errors\": %d,\n  \"static_dead_nodes\": %d,\n  \
+               \"seconds_analyze\": %.6f,\n  \"seconds_oracle\": %.6f,\n  \"oracle\": %s\n}\n"
+              (List.length an.An.subs) (List.length an.An.diags)
+              (Di.count_severity an.An.diags Di.Error)
+              (List.length dead) t_analyze t_oracle (Or.summary_json oracle);
+            close_out oc;
+            Printf.printf "  telemetry written to %s\n%!" path);
+        Or.ok oracle)
+  in
+  if not ok then begin
+    Printf.eprintf "lint bench: differential oracle found mismatches or orphans\n";
+    exit 1
+  end
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -499,6 +550,7 @@ let run_target ~json ~trace ~domains = function
   | "micro-par" -> run_micro_par ()
   | "gn" -> run_gn_bench ~trace ~json ~domains ()
   | "pipeline" -> run_pipeline_bench ~json ~trace ~domains ()
+  | "lint" -> run_lint_bench ~json ()
   | name -> (
       match List.assoc_opt name all_experiments with
       | Some spec -> run_experiment spec

@@ -134,6 +134,75 @@ let modules_cmd =
     (Cmd.info "modules" ~doc:"Rank modules by quotient-graph eigenvector centrality")
     Term.(const run $ scale_arg $ k)
 
+(* --- lint ------------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run config report_path no_oracle =
+    let fixture = Fixture.make config in
+    let an = Rca_analysis.Analysis.analyze fixture.Fixture.covered_program in
+    let oracle =
+      if no_oracle then None
+      else Some (Rca_analysis.Analysis.check_oracle an fixture.Fixture.mg)
+    in
+    let diags = an.Rca_analysis.Analysis.diags in
+    let module D = Rca_analysis.Diagnostics in
+    Printf.printf "analyzed %d subprograms: %d diagnostics (%d errors, %d warnings, %d info)\n"
+      (List.length an.Rca_analysis.Analysis.subs)
+      (List.length diags)
+      (D.count_severity diags D.Error)
+      (D.count_severity diags D.Warning)
+      (D.count_severity diags D.Info);
+    List.iter
+      (fun k ->
+        let n = D.count_kind diags k in
+        if n > 0 then Printf.printf "  %-22s %d\n" (D.kind_name k) n)
+      D.all_kinds;
+    List.iter
+      (fun d ->
+        if d.D.severity = D.Error then
+          Printf.printf "error: %s/%s:%d %s\n" d.D.dmodule d.D.dsub d.D.line d.D.message)
+      diags;
+    let oracle_bad =
+      match oracle with
+      | None -> false
+      | Some r ->
+          Printf.printf
+            "oracle: %d def-use pairs vs %d metagraph edges: %d mismatches, %d orphans\n"
+            r.Rca_analysis.Oracle.rp_pairs r.Rca_analysis.Oracle.rp_edges
+            (List.length r.Rca_analysis.Oracle.rp_mismatches)
+            (List.length r.Rca_analysis.Oracle.rp_orphans);
+          List.iter print_endline (Rca_analysis.Oracle.report_lines r);
+          not (Rca_analysis.Oracle.ok r)
+    in
+    (match report_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Rca_analysis.Analysis.report_json ?oracle an);
+        close_out oc;
+        Printf.printf "report written to %s\n" path);
+    if D.has_errors diags || oracle_bad then 1 else 0
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"PATH" ~doc:"Write the JSON lint report to $(docv).")
+  in
+  let no_oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ]
+          ~doc:"Skip the differential def-use/metagraph cross-validation.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static dataflow lint of the generated synthetic model (CFG + reaching \
+          definitions), cross-validated against the metagraph.  Exits nonzero on \
+          error-severity findings or any def-use/metagraph mismatch.")
+    Term.(const run $ scale_arg $ report_arg $ no_oracle_arg)
+
 (* --- experiment ------------------------------------------------------------------- *)
 
 let trace_arg =
@@ -147,7 +216,7 @@ let trace_arg =
            Tracing never changes results.")
 
 let experiment_cmd =
-  let run config members runtime domains trace name =
+  let run config members runtime domains trace static_prune analysis_report name =
     match Experiments.find name with
     | None ->
         Printf.eprintf "unknown experiment %S (wsubbug|rand-mt|goffgratch|avx2|avx2-full|randombug|dyn3bug)\n" name;
@@ -159,6 +228,7 @@ let experiment_cmd =
             Harness.ensemble_members = members;
             detector = (if runtime then Harness.Runtime else Harness.Simulated);
             domains;
+            static_prune = static_prune || analysis_report <> None;
           }
         in
         if trace <> None then Rca_obs.Obs.enable ();
@@ -169,6 +239,14 @@ let experiment_cmd =
             Rca_obs.Obs.disable ();
             Rca_obs.Obs.write_chrome_trace path;
             Printf.printf "chrome trace written to %s\n" path);
+        (match (analysis_report, r.Harness.analysis) with
+        | Some path, Some an ->
+            let oracle = Rca_analysis.Analysis.check_oracle an r.Harness.fixture.Fixture.mg in
+            let oc = open_out path in
+            output_string oc (Rca_analysis.Analysis.report_json ~oracle an);
+            close_out oc;
+            Printf.printf "analysis report written to %s\n" path
+        | _ -> ());
         Format.printf "%a@." Harness.pp r;
         if spec.Harness.name = "AVX2" then
           Format.printf "%a@." Avx2_kernel.pp (Avx2_kernel.analyze r);
@@ -185,9 +263,29 @@ let experiment_cmd =
             "Drive the iterative refinement with genuine runtime sampling instead of the \
              paper's simulated (reachability) sampling.")
   in
+  let static_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "static-prune" ]
+          ~doc:
+            "Run the static dataflow analyzer over the covered program and prune \
+             statically-dead metagraph nodes before slicing.  Observationally safe: \
+             results are identical with and without it.")
+  in
+  let analysis_report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "analysis-report" ] ~docv:"PATH"
+          ~doc:
+            "Write the static-analysis JSON report (diagnostics + oracle summary) to \
+             $(docv); implies the analysis runs even without $(b,--static-prune).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one paper experiment end to end")
-    Term.(const run $ scale_arg $ members_arg $ runtime_arg $ domains_arg $ trace_arg $ name_arg)
+    Term.(
+      const run $ scale_arg $ members_arg $ runtime_arg $ domains_arg $ trace_arg
+      $ static_prune_arg $ analysis_report_arg $ name_arg)
 
 (* --- table1 ------------------------------------------------------------------------ *)
 
@@ -246,6 +344,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "rca_main" ~version:"1.0.0"
        ~doc:"Root cause analysis for large Fortran code bases (HPDC'19 reproduction)")
-    [ generate_cmd; stats_cmd; modules_cmd; experiment_cmd; table1_cmd; table2_cmd; figures_cmd ]
+    [
+      generate_cmd; stats_cmd; modules_cmd; lint_cmd; experiment_cmd; table1_cmd;
+      table2_cmd; figures_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,194 @@
+(* Lint diagnostics over one analyzed subprogram, and the stable JSON
+   report format the CLI emits.
+
+   Severity policy: [Error] marks findings that are wrong under any
+   reading of the Fortran standard (reading a variable no path has
+   assigned, writing an intent(in) formal).  [Warning] marks likely bugs
+   that a conservative analysis cannot promote (may-be-uninitialized,
+   dead stores, intent(out) formals never set, unreachable code).
+   [Info] marks hygiene findings (unused and shadowed declarations).
+   `rca_main lint` exits nonzero only on [Error]. *)
+
+type severity = Error | Warning | Info
+
+type kind =
+  | Use_before_def  (* definite: only the uninitialized entry value reaches *)
+  | Use_maybe_uninit  (* some path reaches the use without a definition *)
+  | Dead_assignment  (* value certainly never read *)
+  | Unused_variable  (* declared, never referenced *)
+  | Shadowed_variable  (* local declaration hides a module variable *)
+  | Write_to_intent_in
+  | Intent_out_never_set  (* also: function result never assigned *)
+  | Unreachable_code
+
+type diag = {
+  kind : kind;
+  severity : severity;
+  dmodule : string;
+  dsub : string;
+  line : int;
+  var : string;  (* "" when the finding has no variable *)
+  message : string;
+}
+
+let kind_name = function
+  | Use_before_def -> "use-before-def"
+  | Use_maybe_uninit -> "use-maybe-uninit"
+  | Dead_assignment -> "dead-assignment"
+  | Unused_variable -> "unused-variable"
+  | Shadowed_variable -> "shadowed-variable"
+  | Write_to_intent_in -> "write-to-intent-in"
+  | Intent_out_never_set -> "intent-out-never-set"
+  | Unreachable_code -> "unreachable-code"
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let all_kinds =
+  [
+    Use_before_def; Use_maybe_uninit; Dead_assignment; Unused_variable;
+    Shadowed_variable; Write_to_intent_in; Intent_out_never_set; Unreachable_code;
+  ]
+
+(* ---- per-subprogram pass ------------------------------------------------------ *)
+
+let of_sub (flow : Dataflow.t) : diag list =
+  let ss = flow.Dataflow.scope in
+  let dmodule = ss.Scope.ss_module and dsub = ss.Scope.ss_sub.Rca_fortran.Ast.s_name in
+  let mk kind severity line var message = { kind; severity; dmodule; dsub; line; var; message } in
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (* use-before-def *)
+  List.iter
+    (fun { Dataflow.uu_use = u; uu_class } ->
+      let name = u.Defuse.u_var.Scope.v_name in
+      match uu_class with
+      | Dataflow.Definite ->
+          add
+            (mk Use_before_def Error u.Defuse.u_line name
+               (Printf.sprintf "'%s' is read but never assigned on any path to this use" name))
+      | Dataflow.Maybe ->
+          add
+            (mk Use_maybe_uninit Warning u.Defuse.u_line name
+               (Printf.sprintf "'%s' may be read before it is assigned" name)))
+    (Dataflow.uninit_uses flow);
+  (* dead assignments *)
+  List.iter
+    (fun (d : Defuse.def_site) ->
+      let name = d.Defuse.d_var.Scope.v_name in
+      add
+        (mk Dead_assignment Warning d.Defuse.d_line name
+           (Printf.sprintf "value assigned to '%s' is never read" name)))
+    (Dataflow.dead_defs flow);
+  (* writes to intent(in) formals *)
+  Array.iter
+    (fun (instrs : Defuse.fact array) ->
+      Array.iter
+        (fun (f : Defuse.fact) ->
+          List.iter
+            (fun (d : Defuse.def_site) ->
+              match (d.Defuse.d_var.Scope.v_kind, d.Defuse.d_origin) with
+              | Scope.Formal (Some Rca_fortran.Ast.In), (Defuse.From_assign | Defuse.From_loop | Defuse.From_call) ->
+                  let name = d.Defuse.d_var.Scope.v_name in
+                  add
+                    (mk Write_to_intent_in Error d.Defuse.d_line name
+                       (Printf.sprintf "intent(in) argument '%s' is assigned" name))
+              | _ -> ())
+            f.Defuse.defs)
+        instrs)
+    flow.Dataflow.facts;
+  (* per-variable findings *)
+  let used = Dataflow.used_vars flow and defined = Dataflow.defined_vars flow in
+  List.iter
+    (fun (v : Scope.var) ->
+      let u = Dataflow.bs_get used v.Scope.v_id
+      and d = Dataflow.bs_get defined v.Scope.v_id in
+      (match v.Scope.v_kind with
+      | Scope.Formal (Some Rca_fortran.Ast.Out) when not d ->
+          add
+            (mk Intent_out_never_set Warning v.Scope.v_line v.Scope.v_name
+               (Printf.sprintf "intent(out) argument '%s' is never assigned" v.Scope.v_name))
+      | Scope.Result when not d ->
+          add
+            (mk Intent_out_never_set Warning v.Scope.v_line v.Scope.v_name
+               (Printf.sprintf "function result '%s' is never assigned" v.Scope.v_name))
+      | Scope.Formal _ | Scope.Local _ ->
+          if (not u) && not d then
+            add
+              (mk Unused_variable Info v.Scope.v_line v.Scope.v_name
+                 (Printf.sprintf "'%s' is declared but never used" v.Scope.v_name))
+      | _ -> ());
+      match (v.Scope.v_shadows, v.Scope.v_kind) with
+      | Some owner, (Scope.Formal _ | Scope.Local _ | Scope.Result) ->
+          add
+            (mk Shadowed_variable Info v.Scope.v_line v.Scope.v_name
+               (Printf.sprintf "'%s' hides the module variable from '%s'" v.Scope.v_name owner))
+      | _ -> ())
+    (Scope.vars ss);
+  (* unreachable statements *)
+  List.iter
+    (fun line ->
+      add (mk Unreachable_code Warning line "" "statement can never execute"))
+    (Cfg.unreachable_lines flow.Dataflow.cfg);
+  List.rev !out
+
+(* ---- aggregation / report ----------------------------------------------------- *)
+
+let sort_diags ds =
+  List.sort
+    (fun a b ->
+      compare
+        (a.dmodule, a.dsub, a.line, kind_name a.kind, a.var)
+        (b.dmodule, b.dsub, b.line, kind_name b.kind, b.var))
+    ds
+
+let count_severity ds sev = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let count_kind ds k = List.length (List.filter (fun d -> d.kind = k) ds)
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+(* ---- JSON ---------------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diag_json d =
+  Printf.sprintf
+    {|{"kind":"%s","severity":"%s","module":"%s","subprogram":"%s","line":%d,"variable":"%s","message":"%s"}|}
+    (kind_name d.kind) (severity_name d.severity) (json_escape d.dmodule)
+    (json_escape d.dsub) d.line (json_escape d.var) (json_escape d.message)
+
+(* Stable report: version, severity/kind summary, diagnostics sorted by
+   (module, subprogram, line, kind, variable). *)
+let report_json ?(extra = []) (ds : diag list) =
+  let ds = sort_diags ds in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"version\": 1,\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  \"%s\": %s,\n" (json_escape k) v))
+    extra;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": {\"error\": %d, \"warning\": %d, \"info\": %d, \"total\": %d},\n"
+       (count_severity ds Error) (count_severity ds Warning) (count_severity ds Info)
+       (List.length ds));
+  Buffer.add_string buf "  \"by_kind\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map (fun k -> Printf.sprintf "\"%s\": %d" (kind_name k) (count_kind ds k)) all_kinds));
+  Buffer.add_string buf "},\n  \"diagnostics\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map (fun d -> "    " ^ diag_json d) ds));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,444 @@
+(* Name resolution for the static analyzer.
+
+   The dataflow pass needs the same visibility rules the metagraph builder
+   applies — module variables with use-association (only-lists, renames, no
+   chained use), subprogram candidates including named interfaces, locals
+   shadowing module names — but rebuilt independently from the AST so the
+   two implementations can be compared differentially.  Per-subprogram
+   variable tables additionally classify every name (formal with intent,
+   declared local, function result, resolved module variable, implicit)
+   and assign the dense integer ids the bitvector dataflow runs on. *)
+
+open Rca_fortran
+
+(* ---- program-level scopes -------------------------------------------------- *)
+
+type callable = { c_module : string; c_sub : Ast.subprogram }
+
+type module_scope = {
+  ms_unit : Ast.module_unit;
+  (* local name -> (defining module, defining name); renames resolved *)
+  ms_vars : (string, string * string) Hashtbl.t;
+  (* local name -> candidate procedures (own, imported, named interfaces) *)
+  ms_subs : (string, callable list) Hashtbl.t;
+  (* defining module name -> decl, for shadowing lookups *)
+  ms_var_decl : (string, Ast.decl) Hashtbl.t;
+}
+
+type program_scope = {
+  by_module : (string, module_scope) Hashtbl.t;
+  prog : Ast.program;
+}
+
+let of_program (prog : Ast.program) : program_scope =
+  let by_module = Hashtbl.create 64 in
+  (* pass 1: names each module owns *)
+  List.iter
+    (fun (mu : Ast.module_unit) ->
+      let ms =
+        {
+          ms_unit = mu;
+          ms_vars = Hashtbl.create 32;
+          ms_subs = Hashtbl.create 16;
+          ms_var_decl = Hashtbl.create 32;
+        }
+      in
+      List.iter
+        (fun (d : Ast.decl) ->
+          Hashtbl.replace ms.ms_vars d.Ast.d_name (mu.Ast.m_name, d.Ast.d_name);
+          Hashtbl.replace ms.ms_var_decl d.Ast.d_name d)
+        mu.Ast.m_decls;
+      List.iter
+        (fun (s : Ast.subprogram) ->
+          let c = { c_module = mu.Ast.m_name; c_sub = s } in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt ms.ms_subs s.Ast.s_name) in
+          Hashtbl.replace ms.ms_subs s.Ast.s_name (cur @ [ c ]))
+        mu.Ast.m_subprograms;
+      List.iter
+        (fun (i : Ast.interface_def) ->
+          if i.Ast.i_name <> "" then begin
+            let cands =
+              List.filter_map
+                (fun p ->
+                  Option.map
+                    (fun s -> { c_module = mu.Ast.m_name; c_sub = s })
+                    (Ast.find_subprogram mu p))
+                i.Ast.i_procedures
+            in
+            if cands <> [] then Hashtbl.replace ms.ms_subs i.Ast.i_name cands
+          end)
+        mu.Ast.m_interfaces;
+      Hashtbl.replace by_module mu.Ast.m_name ms)
+    prog;
+  (* pass 2: imports; only names the source module itself owns (no chains) *)
+  List.iter
+    (fun (mu : Ast.module_unit) ->
+      let ms = Hashtbl.find by_module mu.Ast.m_name in
+      List.iter
+        (fun (u : Ast.use_stmt) ->
+          match Hashtbl.find_opt by_module u.Ast.u_module with
+          | None -> ()
+          | Some src ->
+              let import_var local remote =
+                match Hashtbl.find_opt src.ms_vars remote with
+                | Some ((srcm, _) as target) when srcm = u.Ast.u_module ->
+                    Hashtbl.replace ms.ms_vars local target
+                | _ -> ()
+              in
+              let import_sub local remote =
+                match Hashtbl.find_opt src.ms_subs remote with
+                | Some cands ->
+                    let owned =
+                      List.filter (fun c -> c.c_module = u.Ast.u_module) cands
+                    in
+                    if owned <> [] then Hashtbl.replace ms.ms_subs local owned
+                | None -> ()
+              in
+              (match u.Ast.u_only with
+              | Some pairs ->
+                  List.iter
+                    (fun (local, remote) ->
+                      import_var local remote;
+                      import_sub local remote)
+                    pairs
+              | None ->
+                  List.iter
+                    (fun (d : Ast.decl) -> import_var d.Ast.d_name d.Ast.d_name)
+                    src.ms_unit.Ast.m_decls;
+                  List.iter
+                    (fun (s : Ast.subprogram) -> import_sub s.Ast.s_name s.Ast.s_name)
+                    src.ms_unit.Ast.m_subprograms;
+                  List.iter
+                    (fun (i : Ast.interface_def) ->
+                      if i.Ast.i_name <> "" then import_sub i.Ast.i_name i.Ast.i_name)
+                    src.ms_unit.Ast.m_interfaces))
+        mu.Ast.m_uses)
+    prog;
+  { by_module; prog }
+
+let module_scope ps name = Hashtbl.find_opt ps.by_module name
+
+(* ---- interprocedural summaries --------------------------------------------- *)
+
+(* Per formal: does the callee's body (syntactically) read or write it?
+   Nested calls inside the callee fall back to declared intent, or
+   read+write when unknown — the summary is a refinement of intent, never
+   a relaxation below it. *)
+type formal_summary = { fs_reads : bool; fs_writes : bool }
+
+type summaries = (string * string, (string, formal_summary) Hashtbl.t) Hashtbl.t
+
+let sub_key (c : callable) = (c.c_module, c.c_sub.Ast.s_name)
+
+let compute_summaries (ps : program_scope) : summaries =
+  let out : summaries = Hashtbl.create 128 in
+  List.iter
+    (fun (mu : Ast.module_unit) ->
+      let ms = Hashtbl.find ps.by_module mu.Ast.m_name in
+      List.iter
+        (fun (s : Ast.subprogram) ->
+          let formals = Hashtbl.create 8 in
+          List.iter
+            (fun f -> Hashtbl.replace formals f { fs_reads = false; fs_writes = false })
+            s.Ast.s_args;
+          let mark_read n =
+            match Hashtbl.find_opt formals n with
+            | Some fs -> Hashtbl.replace formals n { fs with fs_reads = true }
+            | None -> ()
+          in
+          let mark_write n =
+            match Hashtbl.find_opt formals n with
+            | Some fs -> Hashtbl.replace formals n { fs with fs_writes = true }
+            | None -> ()
+          in
+          let intent_of_formal (c : callable) formal =
+            List.find_opt (fun (d : Ast.decl) -> d.Ast.d_name = formal) c.c_sub.Ast.s_decls
+            |> Option.map (fun d -> d.Ast.d_intent)
+            |> Option.join
+          in
+          let rec expr_reads (e : Ast.expr) =
+            match e with
+            | Ast.Enum _ | Ast.Eint _ | Ast.Elogical _ | Ast.Estring _ -> ()
+            | Ast.Eun (_, e) -> expr_reads e
+            | Ast.Ebin (_, a, b) ->
+                expr_reads a;
+                expr_reads b
+            | Ast.Erange (a, b) ->
+                Option.iter expr_reads a;
+                Option.iter expr_reads b
+            | Ast.Edesig d -> desig_reads d
+          and desig_reads = function
+            | Ast.Dname n -> mark_read n
+            | Ast.Dindex (d, args) ->
+                desig_reads d;
+                List.iter expr_reads args
+            | Ast.Dmember (d, _) -> desig_reads d
+          in
+          let call_effects name args =
+            let cands =
+              Option.value ~default:[] (Hashtbl.find_opt ms.ms_subs name)
+            in
+            if cands = [] then
+              (* unknown procedure: assume it both reads and writes *)
+              List.iter
+                (fun a ->
+                  expr_reads a;
+                  match a with
+                  | Ast.Edesig d -> mark_write (Ast.designator_base d)
+                  | _ -> ())
+                args
+            else
+              List.iter
+                (fun c ->
+                  List.iteri
+                    (fun i formal ->
+                      if i < List.length args then begin
+                        let actual = List.nth args i in
+                        match intent_of_formal c formal with
+                        | Some Ast.In -> expr_reads actual
+                        | Some Ast.Out -> (
+                            match actual with
+                            | Ast.Edesig d -> mark_write (Ast.designator_base d)
+                            | _ -> expr_reads actual)
+                        | Some Ast.Inout | None -> (
+                            expr_reads actual;
+                            match actual with
+                            | Ast.Edesig d -> mark_write (Ast.designator_base d)
+                            | _ -> ())
+                      end)
+                    c.c_sub.Ast.s_args)
+                cands
+          in
+          Ast.iter_stmts
+            (fun st ->
+              match st.Ast.node with
+              | Ast.Assign (d, rhs) ->
+                  mark_write (Ast.designator_base d);
+                  (* index expressions on the lhs are reads *)
+                  let rec idx_reads = function
+                    | Ast.Dname _ -> ()
+                    | Ast.Dindex (d, args) ->
+                        idx_reads d;
+                        List.iter expr_reads args
+                    | Ast.Dmember (d, _) -> idx_reads d
+                  in
+                  idx_reads d;
+                  expr_reads rhs
+              | Ast.Call (name, args) -> call_effects name args
+              | Ast.If (branches, _) -> List.iter (fun (c, _) -> expr_reads c) branches
+              | Ast.Do { var = _; lo; hi; step; _ } ->
+                  expr_reads lo;
+                  expr_reads hi;
+                  Option.iter expr_reads step
+              | Ast.Do_while (c, _) -> expr_reads c
+              | Ast.Select (sel, cases, _) ->
+                  expr_reads sel;
+                  List.iter (fun (vs, _) -> List.iter expr_reads vs) cases
+              | Ast.Print args -> List.iter expr_reads args
+              | Ast.Unparsed raw ->
+                  (* havoc: any mentioned formal may be read and written *)
+                  List.iter
+                    (fun id ->
+                      mark_read id;
+                      mark_write id)
+                    (Relaxed.scrape_identifiers raw)
+              | Ast.Return | Ast.Exit_loop | Ast.Cycle | Ast.Stop -> ())
+            s.Ast.s_body;
+          Hashtbl.replace out (mu.Ast.m_name, s.Ast.s_name) formals)
+        mu.Ast.m_subprograms)
+    ps.prog;
+  out
+
+let formal_summary (sums : summaries) (c : callable) formal =
+  match Hashtbl.find_opt sums (sub_key c) with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl formal
+
+(* ---- per-subprogram variable tables ----------------------------------------- *)
+
+type var_kind =
+  | Formal of Ast.intent option
+  | Local of { initialized : bool; param : bool }
+  | Result
+  | Module_var of { vmodule : string; vname : string }
+  | Member of { base : string }  (* derived-type component, name "base%field" *)
+  | Implicit  (* referenced but never declared: implicit local *)
+
+type var = {
+  v_id : int;
+  v_name : string;  (* name as written in this subprogram, e.g. "qc" or "state%q" *)
+  v_kind : var_kind;
+  v_line : int;  (* declaration line; 0 when there is none *)
+  v_shadows : string option;  (* module owning a module-level binding this hides *)
+}
+
+type sub_scope = {
+  ss_module : string;
+  ss_sub : Ast.subprogram;
+  ss_ms : module_scope;
+  ss_ps : program_scope;
+  ss_sums : summaries;
+  by_name : (string, var) Hashtbl.t;
+  mutable vars_rev : var list;
+  mutable n_vars : int;
+}
+
+let n_vars ss = ss.n_vars
+
+let vars ss = List.rev ss.vars_rev
+
+let find_var ss name = Hashtbl.find_opt ss.by_name name
+
+(* The metagraph treats names in this priority: local declaration, then
+   module variable, then (for indexed names only) callable / intrinsic,
+   then implicit local.  [lookup_var] is the variable-only part. *)
+let intern ss name kind line =
+  match Hashtbl.find_opt ss.by_name name with
+  | Some v -> v
+  | None ->
+      let shadows =
+        match kind with
+        | Formal _ | Local _ | Result -> (
+            match Hashtbl.find_opt ss.ss_ms.ms_vars name with
+            | Some (m, _) -> Some m
+            | None -> None)
+        | _ -> None
+      in
+      let v = { v_id = ss.n_vars; v_name = name; v_kind = kind; v_line = line; v_shadows = shadows } in
+      ss.n_vars <- ss.n_vars + 1;
+      ss.vars_rev <- v :: ss.vars_rev;
+      Hashtbl.replace ss.by_name name v;
+      v
+
+let of_subprogram (ps : program_scope) (sums : summaries) ~module_:mname
+    (s : Ast.subprogram) : sub_scope =
+  let ms =
+    match Hashtbl.find_opt ps.by_module mname with
+    | Some ms -> ms
+    | None -> invalid_arg ("Scope.of_subprogram: unknown module " ^ mname)
+  in
+  let ss =
+    {
+      ss_module = mname;
+      ss_sub = s;
+      ss_ms = ms;
+      ss_ps = ps;
+      ss_sums = sums;
+      by_name = Hashtbl.create 32;
+      vars_rev = [];
+      n_vars = 0;
+    }
+  in
+  (* formals first, with intent from the declaration section *)
+  List.iter
+    (fun a ->
+      let decl = List.find_opt (fun (d : Ast.decl) -> d.Ast.d_name = a) s.Ast.s_decls in
+      let intent = Option.join (Option.map (fun (d : Ast.decl) -> d.Ast.d_intent) decl) in
+      let line = match decl with Some d -> d.Ast.d_line | None -> s.Ast.s_line in
+      ignore (intern ss a (Formal intent) line))
+    s.Ast.s_args;
+  (* the function result is [Result] even when it also carries an
+     explicit type declaration *)
+  let result_name =
+    match s.Ast.s_kind with Ast.Function -> Some (Ast.function_result_name s) | Ast.Subroutine -> None
+  in
+  (* declared locals (skipping formals and the result, handled apart) *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      if (not (List.mem d.Ast.d_name s.Ast.s_args)) && Some d.Ast.d_name <> result_name then
+        ignore
+          (intern ss d.Ast.d_name
+             (Local { initialized = d.Ast.d_init <> None || d.Ast.d_param; param = d.Ast.d_param })
+             d.Ast.d_line))
+    s.Ast.s_decls;
+  (match result_name with
+  | Some r ->
+      if not (Hashtbl.mem ss.by_name r) then
+        let line =
+          match List.find_opt (fun (d : Ast.decl) -> d.Ast.d_name = r) s.Ast.s_decls with
+          | Some d -> d.Ast.d_line
+          | None -> s.Ast.s_line
+        in
+        ignore (intern ss r Result line)
+  | None -> ());
+  ss
+
+(* Resolve a plain name in expression or lhs position, creating module /
+   implicit vars on first reference. *)
+let resolve ss name line =
+  match Hashtbl.find_opt ss.by_name name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt ss.ss_ms.ms_vars name with
+      | Some (vmodule, vname) -> intern ss name (Module_var { vmodule; vname }) line
+      | None -> intern ss name Implicit line)
+
+(* Member chains: one atomic variable per (base, final component), named
+   "base%component" like the metagraph's member nodes. *)
+let resolve_member ss base field line =
+  ignore (resolve ss base line);
+  intern ss (base ^ "%" ^ field) (Member { base }) line
+
+let is_declared_var ss name =
+  Hashtbl.mem ss.by_name name || Hashtbl.mem ss.ss_ms.ms_vars name
+
+(* Exactly the metagraph builder's [is_variable]: a name declared in this
+   subprogram (formal, local, result) or visible as a module variable.
+   Implicit locals interned by earlier references do NOT count. *)
+let is_metagraph_variable ss name =
+  (match Hashtbl.find_opt ss.by_name name with
+  | Some { v_kind = Formal _ | Local _ | Result; _ } -> true
+  | _ -> false)
+  || name = Ast.function_result_name ss.ss_sub
+     (* the metagraph builder seeds its locals with the result name, which
+        for a subroutine is the subprogram's own name — mirror that *)
+  || Hashtbl.mem ss.ss_ms.ms_vars name
+
+let callables ss name =
+  Option.value ~default:[] (Hashtbl.find_opt ss.ss_ms.ms_subs name)
+
+let is_intrinsic = Rca_metagraph.Metagraph.is_intrinsic
+
+(* Does the variable's value survive the subprogram (so a final definition
+   is never dead)?  Module variables, out/inout formals, the function
+   result, derived-type members (their base may escape) and implicit
+   names (unknown, stay conservative). *)
+let escapes (v : var) =
+  match v.v_kind with
+  | Module_var _ | Result | Member _ | Implicit -> true
+  | Formal (Some Ast.Out) | Formal (Some Ast.Inout) -> true
+  | Formal (Some Ast.In) -> false
+  | Formal None -> true  (* unknown intent: may be an out argument *)
+  | Local _ -> false
+
+(* Initialized before the first statement runs?  In/inout formals and
+   no-intent formals are caller-supplied; module variables are set
+   elsewhere; members and implicits are unknown, so conservatively
+   initialized (no use-before-def reports). *)
+let initialized_at_entry (v : var) =
+  match v.v_kind with
+  | Formal (Some Ast.Out) -> false
+  | Formal _ -> true
+  | Local { initialized; _ } -> initialized
+  | Result -> false
+  | Module_var _ | Member _ | Implicit -> true
+
+(* The (module, subprogram, name) triple under which the metagraph stores
+   this variable's node — [Metagraph.find_node]'s key. *)
+let metagraph_key ss (v : var) =
+  match v.v_kind with
+  | Module_var { vmodule; vname } -> (vmodule, "", vname)
+  | Member { base } -> (
+      let field =
+        let n = String.length v.v_name and b = String.length base in
+        String.sub v.v_name (b + 1) (n - b - 1)
+      in
+      match Hashtbl.find_opt ss.by_name base with
+      | Some { v_kind = Module_var { vmodule; _ }; _ } ->
+          (vmodule, "", base ^ "%" ^ field)
+      | Some _ -> (ss.ss_module, ss.ss_sub.Ast.s_name, base ^ "%" ^ field)
+      | None -> (
+          match Hashtbl.find_opt ss.ss_ms.ms_vars base with
+          | Some (vmodule, _) -> (vmodule, "", base ^ "%" ^ field)
+          | None -> (ss.ss_module, ss.ss_sub.Ast.s_name, base ^ "%" ^ field)))
+  | _ -> (ss.ss_module, ss.ss_sub.Ast.s_name, v.v_name)

@@ -14,7 +14,7 @@ type t = {
 (* Run the static pipeline: slice the metagraph on the affected outputs
    and refine with the given detector. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
-    ?gn_approx ?domains (mg : MG.t) ~outputs ~detect : t =
+    ?gn_approx ?domains ?(static_dead = []) (mg : MG.t) ~outputs ~detect : t =
   Rca_obs.Obs.span' "pipeline.run"
     (fun t ->
       [
@@ -24,6 +24,39 @@ let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations
         ("outcome", Rca_obs.Obs.Str (Refine.outcome_string t.result.Refine.outcome));
       ])
   @@ fun () ->
+  let mg =
+    (* Static dead-node pruning: drop edges incident to statically-dead
+       nodes before slicing.  Observational safety is enforced here, not
+       assumed: a nominated node is only pruned when it has no outgoing
+       edges (so it cannot lie on any path into the backward closure) and
+       is not itself a slicing target. *)
+    if static_dead = [] then mg
+    else
+      Rca_obs.Obs.span' "pipeline.static_prune"
+        (fun mg' ->
+          [
+            ("edges_before", Rca_obs.Obs.Int (G.Digraph.m mg.MG.graph));
+            ("edges_after", Rca_obs.Obs.Int (G.Digraph.m mg'.MG.graph));
+          ])
+      @@ fun () ->
+      let targets =
+        Slice.target_nodes mg (Slice.internal_names_of_outputs mg outputs)
+      in
+      let is_target = Hashtbl.create 64 in
+      List.iter (fun id -> Hashtbl.replace is_target id ()) targets;
+      let dead =
+        List.filter
+          (fun id ->
+            id >= 0 && id < MG.n_nodes mg
+            && G.Digraph.out_degree mg.MG.graph id = 0
+            && not (Hashtbl.mem is_target id))
+          static_dead
+      in
+      Rca_obs.Obs.incr ~by:(List.length dead) "pipeline.static_dead_pruned";
+      Rca_obs.Obs.incr ~by:(List.length static_dead - List.length dead)
+        "pipeline.static_dead_rejected";
+      Rca_metagraph.Prune.without_nodes mg ~dead
+  in
   let slice = Slice.of_outputs ?keep_module ~min_cluster mg outputs in
   let result =
     Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx ?domains

@@ -18,6 +18,7 @@ val run :
   ?stop_size:int ->
   ?gn_approx:int ->
   ?domains:int ->
+  ?static_dead:int list ->
   MG.t ->
   outputs:string list ->
   detect:Detector.t ->
@@ -26,7 +27,13 @@ val run :
     detector.  Defaults follow the paper: residual clusters under 4 nodes
     dropped, 10 samples per community, one G-N split per iteration.
     [domains] (default 1) parallelizes the refinement's community and
-    centrality hot paths over a domain pool without changing results. *)
+    centrality hot paths over a domain pool without changing results.
+    [static_dead] (default none) names metagraph nodes the static
+    analyzer proved dead; their incident edges are pruned before slicing.
+    Only nodes with no outgoing edges that are not slicing targets are
+    actually dropped, which makes the pruning observationally safe: the
+    slice, refinement and located bugs are identical with and without
+    it. *)
 
 val name_of : MG.t -> int -> string
 val describe_nodes : MG.t -> int list -> string list

@@ -30,6 +30,9 @@ type params = {
   stop_size : int;
   detector : detector_kind;
   domains : int;  (* domain-pool size for the refinement hot paths *)
+  static_prune : bool;
+      (* run the static analyzer over the covered program and prune its
+         dead nodes before slicing (observationally safe) *)
 }
 
 let default_params config =
@@ -42,6 +45,7 @@ let default_params config =
     stop_size = 30;
     detector = Simulated;
     domains = 1;
+    static_prune = false;
   }
 
 type report = {
@@ -56,6 +60,7 @@ type report = {
   pipeline : Rca_core.Pipeline.t;
   bugs_located : bool;
   sampling_agreement : float option;  (* simulated vs runtime detector *)
+  analysis : Rca_analysis.Analysis.t option;  (* when static_prune was on *)
   fixture : Fixture.t;
 }
 
@@ -123,10 +128,19 @@ let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
     | Simulated -> simulated
     | Runtime -> fun sampled -> Sampling.detector ~fixture ~opts:spec.opts sampled
   in
+  let analysis =
+    if p.static_prune then Some (Rca_analysis.Analysis.analyze fixture.Fixture.covered_program)
+    else None
+  in
+  let static_dead =
+    match analysis with
+    | None -> []
+    | Some an -> Rca_analysis.Analysis.dead_node_ids an fixture.Fixture.mg
+  in
   let pipeline =
     Rca_core.Pipeline.run ~keep_module ~min_cluster:4 ~m_sample:p.m_sample
       ?gn_approx:(Option.map (fun x -> x) p.gn_approx)
-      ~stop_size:p.stop_size ~domains:p.domains fixture.Fixture.mg
+      ~stop_size:p.stop_size ~domains:p.domains ~static_dead fixture.Fixture.mg
       ~outputs:affected_outputs ~detect
   in
   let sub = Rca_core.Slice.subgraph pipeline.Rca_core.Pipeline.slice in
@@ -168,6 +182,7 @@ let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
     pipeline;
     bugs_located;
     sampling_agreement;
+    analysis;
     fixture;
   }
 

@@ -1,0 +1,144 @@
+(** Abstract syntax for the Fortran 90 subset understood by the toolkit.
+
+    The subset covers what CESM-style physics/dynamics code needs: modules
+    with use-association (including [only] lists and renames), derived
+    types, module variables and parameters, subroutines/functions,
+    assignments over scalars / arrays / derived-type chains, do loops,
+    conditionals and calls.  Statements the parser cannot handle are kept
+    as {!Unparsed} rather than rejected, mirroring the paper's observation
+    that a handful of CESM assignments defeat every Fortran parser. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Concat
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+(** A designator is anything that can appear on the left of an assignment:
+    a name, an indexed name, or a derived-type component chain, e.g.
+    [elem(ie)%derived%omega_p].  On the right-hand side, [Dindex] is also
+    how function calls parse — Fortran syntax cannot distinguish arrays
+    from functions, so disambiguation happens after all files are read
+    (paper Section 4.2). *)
+type designator =
+  | Dname of string
+  | Dindex of designator * expr list
+  | Dmember of designator * string
+
+and expr =
+  | Enum of float
+  | Eint of int
+  | Elogical of bool
+  | Estring of string
+  | Edesig of designator
+  | Eun of unop * expr
+  | Ebin of binop * expr * expr
+  | Erange of expr option * expr option  (** lo:hi array section bound *)
+
+type stmt = { line : int; node : stmt_node }
+
+and stmt_node =
+  | Assign of designator * expr
+  | Call of string * expr list
+  | If of (expr * stmt list) list * stmt list
+      (** (cond, branch) list, else branch *)
+  | Do of { var : string; lo : expr; hi : expr; step : expr option; body : stmt list }
+  | Do_while of expr * stmt list
+  | Select of expr * (expr list * stmt list) list * stmt list
+      (** select case: selector, (case values, body) branches, default body *)
+  | Return
+  | Exit_loop
+  | Cycle
+  | Stop
+  | Print of expr list
+  | Unparsed of string  (** raw text of a statement beyond the parser *)
+
+type intent = In | Out | Inout
+
+type type_spec = Treal | Tinteger | Tlogical | Tcharacter | Ttype of string
+
+type decl = {
+  d_name : string;
+  d_type : type_spec;
+  d_dims : expr list;  (** [[]] = scalar; one extent expression per dimension *)
+  d_init : expr option;
+  d_param : bool;
+  d_intent : intent option;
+  d_line : int;
+}
+
+type subprogram_kind = Subroutine | Function
+
+type subprogram = {
+  s_name : string;
+  s_kind : subprogram_kind;
+  s_args : string list;
+  s_result : string option;
+      (** function result variable; defaults to [s_name] *)
+  s_elemental : bool;
+  s_decls : decl list;
+  s_body : stmt list;
+  s_line : int;
+}
+
+type use_stmt = {
+  u_module : string;
+  u_only : (string * string) list option;
+      (** [None]: use every public name.  [Some pairs]: [only] list as
+          (local_name, remote_name); the two coincide unless renamed with
+          [local => remote]. *)
+  u_line : int;
+}
+
+type derived_type_def = { t_name : string; t_fields : decl list; t_line : int }
+
+type interface_def = { i_name : string; i_procedures : string list; i_line : int }
+
+type module_unit = {
+  m_name : string;
+  m_file : string;
+  m_uses : use_stmt list;
+  m_types : derived_type_def list;
+  m_decls : decl list;
+  m_interfaces : interface_def list;
+  m_subprograms : subprogram list;
+  m_line : int;
+}
+
+type program = module_unit list
+
+val find_module : program -> string -> module_unit option
+val find_subprogram : module_unit -> string -> subprogram option
+
+val function_result_name : subprogram -> string
+(** The function result variable: [s_result] when given, else the
+    subprogram's own name. *)
+
+val designator_base : designator -> string
+(** Root variable name of a designator, e.g. [elem(ie)%derived%omega_p]
+    has base [elem]. *)
+
+val designator_canonical : designator -> string
+(** Canonical name (paper Section 4.2): the name of the {e final}
+    component of a derived-type chain, index-free. *)
+
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+(** Visit every statement of a body, recursing into control structure. *)
+
+val count_stmts : stmt list -> int
+
+val expr_identifiers : expr -> string list
+(** Every identifier mentioned in an expression, including function names
+    and indices; order of first occurrence, duplicates removed. *)

@@ -224,12 +224,6 @@ let is_end_of l kind =
   | Some (id, _) -> id = "end" ^ kind
   | None -> false
 
-let is_any_end l =
-  match first_ident l with
-  | Some ("end", _) -> true
-  | Some (id, _) -> String.length id > 3 && String.sub id 0 3 = "end"
-  | None -> false
-
 (* ---- parser state over logical lines ---------------------------------------- *)
 
 type state = {

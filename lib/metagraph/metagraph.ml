@@ -68,6 +68,12 @@ let nodes_with_canonical t name =
 let io_internal_names t output =
   Option.value ~default:[] (Hashtbl.find_opt t.io_map output)
 
+(* key builder shared with [get_node]; forward declaration for find_node *)
+let node_key ~module_ ~sub ~name = module_ ^ "|" ^ sub ^ "|" ^ name
+
+let find_node t ~module_ ~sub ~name =
+  Hashtbl.find_opt t.by_key (node_key ~module_ ~sub ~name)
+
 (* ---- module environments -------------------------------------------------- *)
 
 type callable = { c_module : string; c_sub : Ast.subprogram }
@@ -181,7 +187,7 @@ type builder = {
   st : build_stats;
 }
 
-let key ~module_ ~sub ~name = module_ ^ "|" ^ sub ^ "|" ^ name
+let key = node_key
 
 let get_node ?(synthetic = false) b ~module_ ~sub ~name ~canonical ~line =
   let k = key ~module_ ~sub ~name in

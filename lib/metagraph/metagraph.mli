@@ -58,3 +58,12 @@ val nodes_with_canonical : t -> string -> int list
 
 val io_internal_names : t -> string -> string list
 (** Internal variables feeding the given history output. *)
+
+val find_node : t -> module_:string -> sub:string -> name:string -> int option
+(** Node stored under the (module, subprogram, name) key, if any.  [sub]
+    is [""] for module-level variables; [name] is the name as written in
+    the owning scope (members as ["base%field"], localized intrinsics as
+    ["min_<line>"]). *)
+
+val is_intrinsic : string -> bool
+(** Whether the builder localizes this name as an intrinsic pseudo-node. *)

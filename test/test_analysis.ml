@@ -1,0 +1,383 @@
+(* Tests for rca_analysis: CFG construction, reaching-definitions and
+   liveness fixed points, the diagnostics engine (each kind seeded and
+   clean), conservative havoc for Unparsed statements, the differential
+   metagraph oracle, and observational safety of static pruning. *)
+
+open Rca_fortran
+module A = Rca_analysis.Analysis
+module Cfg = Rca_analysis.Cfg
+module Dataflow = Rca_analysis.Dataflow
+module Defuse = Rca_analysis.Defuse
+module D = Rca_analysis.Diagnostics
+module Oracle = Rca_analysis.Oracle
+module MG = Rca_metagraph.Metagraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse src = Parser.parse_file ~strict:false ~file:"t.F90" src
+
+let analyze src = A.analyze (parse src)
+
+let diags src = (analyze src).A.diags
+
+let of_kind k ds = List.filter (fun d -> d.D.kind = k) ds
+
+let flow_of src ~sub =
+  match A.find_sub (analyze src) ~module_:"m" ~sub with
+  | Some sa -> sa.A.sa_flow
+  | None -> Alcotest.failf "subprogram %s not analyzed" sub
+
+let cfg_of src ~sub =
+  match A.find_sub (analyze src) ~module_:"m" ~sub with
+  | Some sa -> sa.A.sa_cfg
+  | None -> Alcotest.failf "subprogram %s not analyzed" sub
+
+let block_with (cfg : Cfg.t) pred =
+  let found = ref None in
+  Array.iteri
+    (fun i instrs -> if Array.exists pred instrs && !found = None then found := Some i)
+    cfg.Cfg.blocks;
+  match !found with Some i -> i | None -> Alcotest.fail "no block matches"
+
+(* --- CFG shape ---------------------------------------------------------------- *)
+
+let cfg_straight_line () =
+  let cfg =
+    cfg_of ~sub:"s"
+      "module m\ncontains\nsubroutine s()\nreal(r8) :: a, b\na = 1.0\nb = a\na = b\nend subroutine\nend module m"
+  in
+  check_int "three instructions" 3 (Cfg.n_instrs cfg);
+  Alcotest.(check (list int)) "nothing unreachable" [] (Cfg.unreachable_lines cfg)
+
+let cfg_if_else_branches () =
+  let cfg =
+    cfg_of ~sub:"s"
+      "module m\nreal(r8) :: x, y\ncontains\nsubroutine s()\nif (x > 0.0) then\ny = 1.0\nelse\ny = 2.0\nend if\nx = y\nend subroutine\nend module m"
+  in
+  (* Cond + two branch assigns + join assign *)
+  check_int "instructions" 4 (Cfg.n_instrs cfg);
+  let cond = block_with cfg (function Cfg.Cond _ -> true | _ -> false) in
+  check_int "condition block forks" 2 (List.length cfg.Cfg.succ.(cond));
+  Alcotest.(check (list int)) "nothing unreachable" [] (Cfg.unreachable_lines cfg)
+
+let cfg_do_loop_edges () =
+  let cfg =
+    cfg_of ~sub:"s"
+      "module m\nreal(r8) :: acc\ncontains\nsubroutine s()\ninteger :: i\ndo i = 1, 10\nacc = acc + 1.0\nend do\nacc = acc * 2.0\nend subroutine\nend module m"
+  in
+  let head = block_with cfg (function Cfg.Do_header _ -> true | _ -> false) in
+  (* zero-trip: the header reaches both the body and the code after *)
+  check_int "header forks" 2 (List.length cfg.Cfg.succ.(head));
+  check_bool "header has a back edge" true (List.length cfg.Cfg.pred.(head) >= 2);
+  Alcotest.(check (list int)) "all reachable" [] (Cfg.unreachable_lines cfg)
+
+let cfg_early_return_unreachable () =
+  let cfg =
+    cfg_of ~sub:"s"
+      "module m\ncontains\nsubroutine s()\nreal(r8) :: x\nx = 1.0\nreturn\nx = 2.0\nend subroutine\nend module m"
+  in
+  Alcotest.(check (list int)) "statement after return" [ 7 ] (Cfg.unreachable_lines cfg)
+
+let cfg_exit_unreachable_tail () =
+  let cfg =
+    cfg_of ~sub:"s"
+      "module m\nreal(r8) :: a, b\ncontains\nsubroutine s()\ninteger :: i\ndo i = 1, 5\nexit\na = 1.0\nend do\nb = 2.0\nend subroutine\nend module m"
+  in
+  (* a = 1.0 (line 8) is dead; b = 2.0 (line 10) is reached via the exit *)
+  Alcotest.(check (list int)) "only the post-exit body line" [ 8 ]
+    (Cfg.unreachable_lines cfg)
+
+(* --- dataflow fixed points ------------------------------------------------------ *)
+
+let du_chain_on_kernel () =
+  let flow =
+    flow_of ~sub:"s"
+      "module m\ncontains\nsubroutine s(x, y)\nreal(r8), intent(in) :: x\nreal(r8), intent(out) :: y\nreal(r8) :: t\nt = x + 1.0\ny = t * 2.0\nend subroutine\nend module m"
+  in
+  let chains = Dataflow.du_chains flow in
+  check_bool "def t@7 reaches use t@8" true
+    (List.exists
+       (fun { Dataflow.du_def; du_use } ->
+         du_def.Defuse.d_var.Rca_analysis.Scope.v_name = "t"
+         && du_def.Defuse.d_line = 7 && du_use.Defuse.u_line = 8)
+       chains)
+
+let liveness_at_exit_is_escape_set () =
+  let flow =
+    flow_of ~sub:"s"
+      "module m\ncontains\nsubroutine s(x, y)\nreal(r8), intent(in) :: x\nreal(r8), intent(out) :: y\nreal(r8) :: t\nt = x + 1.0\ny = t * 2.0\nend subroutine\nend module m"
+  in
+  let live = Dataflow.live_out_names flow flow.Dataflow.cfg.Cfg.exit_ in
+  check_bool "intent(out) live at exit" true (List.mem "y" live);
+  check_bool "local dead at exit" false (List.mem "t" live)
+
+let loop_carried_value_not_dead () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: acc\ninteger :: i\nacc = 0.0\ndo i = 1, 4\nacc = acc + 1.0\nend do\ny = acc\nend subroutine\nend module m"
+  in
+  check_int "no findings on the accumulation kernel" 0 (List.length ds)
+
+(* --- diagnostics: each kind seeded + clean -------------------------------------- *)
+
+let use_before_def_definite () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: t\ny = t\nend subroutine\nend module m"
+  in
+  match of_kind D.Use_before_def ds with
+  | [ d ] ->
+      check_bool "error severity" true (d.D.severity = D.Error);
+      check_int "line" 6 d.D.line;
+      Alcotest.(check string) "variable" "t" d.D.var
+  | _ -> Alcotest.fail "expected exactly one use-before-def"
+
+let use_before_def_clean () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: t\nt = 1.0\ny = t\nend subroutine\nend module m"
+  in
+  check_int "no uninit findings" 0
+    (List.length (of_kind D.Use_before_def ds) + List.length (of_kind D.Use_maybe_uninit ds))
+
+let maybe_uninit_on_one_branch () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s(x, y)\nreal(r8), intent(in) :: x\nreal(r8), intent(out) :: y\nreal(r8) :: t\nif (x > 0.0) then\nt = 1.0\nend if\ny = t\nend subroutine\nend module m"
+  in
+  (match of_kind D.Use_maybe_uninit ds with
+  | [ d ] ->
+      check_bool "warning severity" true (d.D.severity = D.Warning);
+      check_int "line" 10 d.D.line
+  | _ -> Alcotest.fail "expected exactly one maybe-uninit");
+  check_int "not a definite error" 0 (List.length (of_kind D.Use_before_def ds))
+
+let maybe_uninit_clean_when_both_branches_assign () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s(x, y)\nreal(r8), intent(in) :: x\nreal(r8), intent(out) :: y\nreal(r8) :: t\nif (x > 0.0) then\nt = 1.0\nelse\nt = 2.0\nend if\ny = t\nend subroutine\nend module m"
+  in
+  check_int "no uninit findings" 0
+    (List.length (of_kind D.Use_before_def ds) + List.length (of_kind D.Use_maybe_uninit ds))
+
+let dead_assignment_detected () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: t\nt = 1.0\nt = 2.0\ny = t\nend subroutine\nend module m"
+  in
+  match of_kind D.Dead_assignment ds with
+  | [ d ] ->
+      check_int "overwritten store" 6 d.D.line;
+      Alcotest.(check string) "variable" "t" d.D.var
+  | _ -> Alcotest.fail "expected exactly one dead assignment"
+
+let unused_and_shadowed () =
+  let ds =
+    diags
+      "module m\nreal(r8) :: w\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: w\nreal(r8) :: unused_v\nw = 1.0\ny = w\nend subroutine\nend module m"
+  in
+  (match of_kind D.Unused_variable ds with
+  | [ d ] -> Alcotest.(check string) "unused variable" "unused_v" d.D.var
+  | _ -> Alcotest.fail "expected exactly one unused variable");
+  match of_kind D.Shadowed_variable ds with
+  | [ d ] ->
+      Alcotest.(check string) "shadowing local" "w" d.D.var;
+      check_bool "info severity" true (d.D.severity = D.Info)
+  | _ -> Alcotest.fail "expected exactly one shadowed variable"
+
+let write_to_intent_in () =
+  let ds =
+    diags
+      "module m\nreal(r8) :: g\ncontains\nsubroutine s(x)\nreal(r8), intent(in) :: x\nx = 3.0\ng = x\nend subroutine\nend module m"
+  in
+  match of_kind D.Write_to_intent_in ds with
+  | [ d ] ->
+      check_bool "error severity" true (d.D.severity = D.Error);
+      check_int "line" 6 d.D.line
+  | _ -> Alcotest.fail "expected exactly one intent(in) write"
+
+let intent_out_never_set () =
+  let seeded =
+    diags
+      "module m\nreal(r8) :: g\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\ng = 1.0\nend subroutine\nend module m"
+  in
+  (match of_kind D.Intent_out_never_set seeded with
+  | [ d ] -> Alcotest.(check string) "variable" "y" d.D.var
+  | _ -> Alcotest.fail "expected exactly one intent(out) finding");
+  let clean =
+    diags
+      "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\ny = 1.0\nend subroutine\nend module m"
+  in
+  check_int "assigned intent(out) is fine" 0
+    (List.length (of_kind D.Intent_out_never_set clean))
+
+let unreachable_reported () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s()\nreal(r8) :: x\nx = 1.0\nreturn\nx = 2.0\nend subroutine\nend module m"
+  in
+  match of_kind D.Unreachable_code ds with
+  | [ d ] -> check_int "line" 7 d.D.line
+  | _ -> Alcotest.fail "expected exactly one unreachable finding"
+
+(* --- interprocedural summaries --------------------------------------------------- *)
+
+let call_site_defines_actual () =
+  (* `call setval(a)` must count as a definition of `a`: no use-before-def
+     on the later read.  Both via declared intent(out) and via the
+     read/write summary of an intent-free callee. *)
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine setval(v)\nreal(r8), intent(out) :: v\nv = 3.0\nend subroutine\nsubroutine noint(v)\nreal(r8) :: v\nv = 4.0\nend subroutine\nsubroutine use_it(r, q)\nreal(r8), intent(out) :: r, q\nreal(r8) :: a, b\ncall setval(a)\ncall noint(b)\nr = a\nq = b\nend subroutine\nend module m"
+  in
+  check_int "no uninit findings" 0
+    (List.length (of_kind D.Use_before_def ds) + List.length (of_kind D.Use_maybe_uninit ds))
+
+let missing_call_makes_use_before_def () =
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine setval(v)\nreal(r8), intent(out) :: v\nv = 3.0\nend subroutine\nsubroutine use_it(r)\nreal(r8), intent(out) :: r\nreal(r8) :: a\nr = a\nend subroutine\nend module m"
+  in
+  check_int "definite use-before-def" 1 (List.length (of_kind D.Use_before_def ds))
+
+(* --- Unparsed statements are conservative havoc ---------------------------------- *)
+
+let unparsed_is_conservative () =
+  (* `where` defeats the parser.  The havoc model must (a) not report its
+     reads as use-before-def and (b) keep earlier stores alive. *)
+  let ds =
+    diags
+      "module m\ncontains\nsubroutine s()\nreal(r8) :: q(4), qt(4)\nqt = 0.0\nwhere (q > 0.0) qt = qt + q * 0.5\nend subroutine\nend module m"
+  in
+  check_int "no findings at all" 0 (List.length ds)
+
+(* --- differential oracle ---------------------------------------------------------- *)
+
+let oracle_green_on_synth_model () =
+  let fixture = Rca_experiments.Fixture.make Rca_synth.Config.tiny in
+  let an = A.analyze fixture.Rca_experiments.Fixture.covered_program in
+  let rep = A.check_oracle an fixture.Rca_experiments.Fixture.mg in
+  check_bool "no mismatches, no orphans" true (Oracle.ok rep);
+  check_bool "pairs derived" true (rep.Oracle.rp_pairs > 0);
+  check_int "every edge explained" rep.Oracle.rp_edges rep.Oracle.rp_pairs
+
+let analyze_scope prog = (A.analyze prog).A.program_scope
+
+let oracle_mismatch_has_provenance () =
+  let prog = parse "module m\nreal(r8) :: x, y\ncontains\nsubroutine s()\ny = x\nend subroutine\nend module m" in
+  let mg = MG.build prog in
+  let x =
+    match MG.find_node mg ~module_:"m" ~sub:"" ~name:"x" with
+    | Some id -> id
+    | None -> Alcotest.fail "x node missing"
+  in
+  (* dropping x's edges leaves the static pair x -> y unexplained *)
+  let pruned = Rca_metagraph.Prune.without_nodes mg ~dead:[ x ] in
+  let rep = Oracle.check (analyze_scope prog) pruned in
+  match rep.Oracle.rp_mismatches with
+  | [ m ] ->
+      Alcotest.(check string) "file" "t.F90" m.Oracle.mis_pair.Oracle.p_file;
+      check_int "line" 5 m.Oracle.mis_pair.Oracle.p_line
+  | ms -> Alcotest.failf "expected one mismatch, got %d" (List.length ms)
+
+(* --- static pruning --------------------------------------------------------------- *)
+
+let dead_var_detection_is_precise () =
+  let an =
+    analyze
+      "module m\nreal(r8) :: out_v\ncontains\nsubroutine s()\nreal(r8) :: deadl, livel\ndeadl = 1.0\nlivel = 2.0\nout_v = livel\nend subroutine\nend module m"
+  in
+  Alcotest.(check (list (triple string string string)))
+    "only the never-read local" [ ("m", "s", "deadl") ] (A.dead_var_keys an)
+
+let static_prune_observationally_safe () =
+  (* Acceptance criterion: the GOFFGRATCH pipeline outcome is identical
+     with and without static dead-node pruning. *)
+  let open Rca_experiments in
+  let params =
+    {
+      (Harness.default_params Rca_synth.Config.tiny) with
+      Harness.ensemble_members = 15;
+      experimental_members = 6;
+    }
+  in
+  let base = Harness.run ~validate_sampling:false Experiments.goffgratch params in
+  let pruned =
+    Harness.run ~validate_sampling:false Experiments.goffgratch
+      { params with Harness.static_prune = true }
+  in
+  check_int "slice nodes" base.Harness.slice_nodes pruned.Harness.slice_nodes;
+  check_int "slice edges" base.Harness.slice_edges pruned.Harness.slice_edges;
+  check_int "refine iterations" (Harness.iteration_count base) (Harness.iteration_count pruned);
+  Alcotest.(check (list int)) "final candidate set"
+    (List.sort compare base.Harness.pipeline.Rca_core.Pipeline.result.Rca_core.Refine.final_nodes)
+    (List.sort compare pruned.Harness.pipeline.Rca_core.Pipeline.result.Rca_core.Refine.final_nodes);
+  check_bool "bugs located" base.Harness.bugs_located pruned.Harness.bugs_located;
+  check_bool "analysis attached when pruning" true (pruned.Harness.analysis <> None)
+
+(* --- report ------------------------------------------------------------------------ *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let json_report_is_stable () =
+  let an =
+    analyze
+      "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: t\ny = t\nend subroutine\nend module m"
+  in
+  let json = A.report_json an in
+  check_bool "has version" true (contains_substring json "\"version\": 1");
+  check_bool "has the finding" true (contains_substring json "\"use-before-def\"")
+
+let () =
+  Alcotest.run "rca_analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "straight line" `Quick cfg_straight_line;
+          Alcotest.test_case "if/else" `Quick cfg_if_else_branches;
+          Alcotest.test_case "do loop" `Quick cfg_do_loop_edges;
+          Alcotest.test_case "early return" `Quick cfg_early_return_unreachable;
+          Alcotest.test_case "exit" `Quick cfg_exit_unreachable_tail;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "def-use chain" `Quick du_chain_on_kernel;
+          Alcotest.test_case "liveness at exit" `Quick liveness_at_exit_is_escape_set;
+          Alcotest.test_case "loop-carried" `Quick loop_carried_value_not_dead;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "use-before-def" `Quick use_before_def_definite;
+          Alcotest.test_case "use-before-def clean" `Quick use_before_def_clean;
+          Alcotest.test_case "maybe-uninit" `Quick maybe_uninit_on_one_branch;
+          Alcotest.test_case "maybe-uninit clean" `Quick maybe_uninit_clean_when_both_branches_assign;
+          Alcotest.test_case "dead assignment" `Quick dead_assignment_detected;
+          Alcotest.test_case "unused + shadowed" `Quick unused_and_shadowed;
+          Alcotest.test_case "write to intent(in)" `Quick write_to_intent_in;
+          Alcotest.test_case "intent(out) never set" `Quick intent_out_never_set;
+          Alcotest.test_case "unreachable" `Quick unreachable_reported;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "call defines actual" `Quick call_site_defines_actual;
+          Alcotest.test_case "missing call" `Quick missing_call_makes_use_before_def;
+        ] );
+      ( "havoc",
+        [ Alcotest.test_case "unparsed conservative" `Quick unparsed_is_conservative ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "green on synth model" `Quick oracle_green_on_synth_model;
+          Alcotest.test_case "mismatch provenance" `Quick oracle_mismatch_has_provenance;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "dead vars precise" `Quick dead_var_detection_is_precise;
+          Alcotest.test_case "observational safety" `Quick static_prune_observationally_safe;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "json stable" `Quick json_report_is_stable ] );
+    ]

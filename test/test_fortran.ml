@@ -484,9 +484,123 @@ let prop_logical_lines_nonempty =
         (fun l -> String.trim l.Source.text = l.Source.text && l.Source.text <> "")
         (Source.logical_lines src))
 
+(* random statement generator for the statement/module-level round trip.
+   Restricted to the printable subset: no Unparsed (raw text is free-form),
+   and line numbers are stripped before comparing. *)
+let mk node = { line = 0; node }
+
+let rec gen_stmt depth =
+  let open QCheck2.Gen in
+  let assign =
+    map2
+      (fun d e -> mk (Assign (d, e)))
+      (oneof
+         [
+           oneofl [ Dname "x"; Dname "y" ];
+           map (fun e -> Dindex (Dname "arr", [ e ])) (gen_expr 1);
+         ])
+      (gen_expr 2)
+  in
+  if depth = 0 then assign
+  else
+    let body = list_size (int_range 1 3) (gen_stmt (depth - 1)) in
+    oneof
+      [
+        assign;
+        map2 (fun c b -> mk (If ([ (c, b) ], []))) (gen_expr 1) body;
+        map3 (fun c b e -> mk (If ([ (c, b) ], e))) (gen_expr 1) body body;
+        map3
+          (fun lo hi b -> mk (Do { var = "i"; lo; hi; step = None; body = b }))
+          (gen_expr 1) (gen_expr 1) body;
+        map2 (fun c b -> mk (Do_while (c, b))) (gen_expr 1) body;
+        map (fun args -> mk (Call ("update", args))) (list_size (int_range 1 2) (gen_expr 1));
+        return (mk Return);
+      ]
+
+let rec strip_stmt st =
+  let node =
+    match st.node with
+    | If (bs, els) ->
+        If
+          ( List.map (fun (c, b) -> (c, List.map strip_stmt b)) bs,
+            List.map strip_stmt els )
+    | Do d -> Do { d with body = List.map strip_stmt d.body }
+    | Do_while (c, b) -> Do_while (c, List.map strip_stmt b)
+    | Select (s, cs, d) ->
+        Select
+          ( s,
+            List.map (fun (v, b) -> (v, List.map strip_stmt b)) cs,
+            List.map strip_stmt d )
+    | n -> n
+  in
+  { line = 0; node }
+
+let prop_module_roundtrip =
+  QCheck2.Test.make ~name:"pretty module re-parses to an equal AST" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 4) (gen_stmt 2))
+    (fun body ->
+      let decl name dims =
+        {
+          d_name = name;
+          d_type = Treal;
+          d_dims = dims;
+          d_init = None;
+          d_param = false;
+          d_intent = None;
+          d_line = 0;
+        }
+      in
+      let sub =
+        {
+          s_name = "s";
+          s_kind = Subroutine;
+          s_args = [ "x"; "y" ];
+          s_result = None;
+          s_elemental = false;
+          s_decls =
+            [
+              decl "x" [];
+              decl "y" [];
+              decl "arr" [ Eint 4 ];
+              { (decl "i" []) with d_type = Tinteger };
+              decl "dum" [];
+            ];
+          s_body = body;
+          s_line = 0;
+        }
+      in
+      let m =
+        {
+          m_name = "m";
+          m_file = "gen.F90";
+          m_uses = [];
+          m_types = [];
+          m_decls = [];
+          m_interfaces = [];
+          m_subprograms = [ sub ];
+          m_line = 0;
+        }
+      in
+      match Parser.parse_file ~strict:true ~file:"gen.F90" (Pretty.module_to_string m) with
+      | [ m' ] -> (
+          match m'.m_subprograms with
+          | [ sub' ] ->
+              sub'.s_name = "s"
+              && sub'.s_args = sub.s_args
+              && List.map (fun d -> d.d_name) sub'.s_decls
+                 = List.map (fun d -> d.d_name) sub.s_decls
+              && List.map strip_stmt sub'.s_body = List.map strip_stmt body
+          | _ -> false)
+      | _ -> false)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_pretty_parse_roundtrip; prop_scrape_subset_of_ast_idents; prop_logical_lines_nonempty ]
+    [
+      prop_pretty_parse_roundtrip;
+      prop_scrape_subset_of_ast_idents;
+      prop_logical_lines_nonempty;
+      prop_module_roundtrip;
+    ]
 
 let () =
   Alcotest.run "rca_fortran"

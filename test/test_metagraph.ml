@@ -402,6 +402,47 @@ end module m
   check_bool "some fallback used" true
     (mg.MG.stats.MG.parsed_relaxed + mg.MG.stats.MG.parsed_scraped > 0)
 
+(* Each stage of the fallback chain, pinned to its build_stats bucket. *)
+
+let fallback_lands_in_relaxed_bucket () =
+  (* ';' defeats the lexer, so the structured parser keeps the statement
+     as Unparsed; stage 2 still finds the top-level '=' and splits. *)
+  let mg =
+    build
+      "module m\nreal(r8) :: a, b\ncontains\nsubroutine s()\na = b; b = a\nend subroutine\nend module m"
+  in
+  check_int "relaxed" 1 mg.MG.stats.MG.parsed_relaxed;
+  check_int "scraped" 0 mg.MG.stats.MG.parsed_scraped;
+  check_int "unhandled" 0 mg.MG.stats.MG.unhandled;
+  let a = find_node mg ~module_:"m" ~sub:"" ~canonical:"a" in
+  let b = find_node mg ~module_:"m" ~sub:"" ~canonical:"b" in
+  check_bool "b -> a recovered" true (has_edge mg b a)
+
+let fallback_lands_in_scraped_bucket () =
+  (* pointer assignment: no top-level '=' (stage 2 skips '=>'), so stage 3
+     scrapes identifiers, first declared identifier becomes the target. *)
+  let mg =
+    build
+      "module m\nreal(r8) :: qout, qin\ncontains\nsubroutine s()\nqout => qin\nend subroutine\nend module m"
+  in
+  check_int "relaxed" 0 mg.MG.stats.MG.parsed_relaxed;
+  check_int "scraped" 1 mg.MG.stats.MG.parsed_scraped;
+  check_int "unhandled" 0 mg.MG.stats.MG.unhandled;
+  let qout = find_node mg ~module_:"m" ~sub:"" ~canonical:"qout" in
+  let qin = find_node mg ~module_:"m" ~sub:"" ~canonical:"qin" in
+  check_bool "qin -> qout recovered" true (has_edge mg qin qout)
+
+let fallback_lands_in_unhandled_bucket () =
+  (* write statement: no '=', and the leading identifier is not a declared
+     variable, so even scraping gives up. *)
+  let mg =
+    build
+      "module m\nreal(r8) :: a\ncontains\nsubroutine s()\nwrite(*,*) a\nend subroutine\nend module m"
+  in
+  check_int "relaxed" 0 mg.MG.stats.MG.parsed_relaxed;
+  check_int "scraped" 0 mg.MG.stats.MG.parsed_scraped;
+  check_int "unhandled" 1 mg.MG.stats.MG.unhandled
+
 let truly_hopeless_statement_counted () =
   let prog =
     parse
@@ -600,6 +641,9 @@ let () =
           Alcotest.test_case "random_number source" `Quick random_number_creates_source_node;
           Alcotest.test_case "outfld mapping" `Quick outfld_mapping_recorded;
           Alcotest.test_case "fallback chain" `Quick unparsed_goes_through_fallback_chain;
+          Alcotest.test_case "fallback relaxed bucket" `Quick fallback_lands_in_relaxed_bucket;
+          Alcotest.test_case "fallback scraped bucket" `Quick fallback_lands_in_scraped_bucket;
+          Alcotest.test_case "fallback unhandled bucket" `Quick fallback_lands_in_unhandled_bucket;
           Alcotest.test_case "hopeless statement" `Quick truly_hopeless_statement_counted;
         ] );
       ( "coverage",
