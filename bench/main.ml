@@ -6,12 +6,14 @@
 
    Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
             table1 table2 fig4 fig10 fig11 ablation micro micro-par gn
-            pipeline
+            pipeline refine
 
-   Flags: --json PATH     write the `gn`/`pipeline` target's telemetry as JSON
+   Flags: --json PATH     write the `gn`/`pipeline`/`refine` target's
+                          telemetry as JSON
           --domains N     pool size for the parallel `gn` runs (default 4)
           --trace PATH    record the run under lib/obs and write a Chrome
-                          trace-event JSON (`gn` and `pipeline` targets)
+                          trace-event JSON (`gn`, `pipeline` and `refine`
+                          targets)
 
    Each experiment target regenerates the corresponding paper artifact at
    the "paper" model scale and prints the same rows/series the paper
@@ -475,6 +477,228 @@ let run_pipeline_bench ~json ~trace ~domains () =
     exit 1
   end
 
+(* --- masked refinement engine benchmark (refine) ---------------------------------------- *)
+
+(* The GOFFGRATCH slice-and-refine loop run on both node-set engines —
+   the list-based reference (induced-subgraph rebuild per ancestor
+   computation) and the masked-CSR engine (one frozen snapshot, removals
+   as bitmask flips) — sequentially and pooled.  Every pair of runs is
+   checked for full identity (slice nodes/targets, every iteration,
+   final nodes, outcome, located bugs) before any speedup is reported;
+   a traced run per engine extracts the per-iteration span timings the
+   masked engine is meant to shrink.  Exits non-zero on any difference,
+   so CI fails loudly if the engines ever diverge. *)
+let run_refine_bench ~json ~trace ~domains () =
+  hr ();
+  let ok =
+    time "refine" (fun () ->
+        let config = Rca_synth.Config.small in
+        let fixture = Fixture.make ~inject:Experiments.goffgratch.Harness.inject config in
+        let bug_nodes =
+          Fixture.bug_nodes fixture ~canonicals:Experiments.goffgratch.Harness.bug_canonicals
+        in
+        let mg = fixture.Fixture.mg in
+        let detect = Rca_core.Detector.reachability mg ~bug_nodes in
+        let run ~engine ~domains () =
+          Rca_core.Pipeline.run ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
+            ~gn_approx:128 ~stop_size:30 ~domains ~engine mg
+            ~outputs:[ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ]
+            ~detect
+        in
+        (* best-of-3 wall clock: the engines differ by bookkeeping that
+           is small next to the shared G-N kernel, so single-shot
+           timings drown in scheduler/GC noise *)
+        let timeit f =
+          let best = ref infinity in
+          let result = ref None in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            let r = f () in
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt < !best then best := dt;
+            result := Some r
+          done;
+          (Option.get !result, !best)
+        in
+        let open Rca_core in
+        let same a b =
+          a.Pipeline.slice.Slice.nodes = b.Pipeline.slice.Slice.nodes
+          && a.Pipeline.slice.Slice.targets = b.Pipeline.slice.Slice.targets
+          && a.Pipeline.result = b.Pipeline.result
+          && Pipeline.located_bugs mg a ~bug_nodes = Pipeline.located_bugs mg b ~bug_nodes
+        in
+        let all_ok = ref true in
+        let baseline = ref None in
+        let runs = ref [] in
+        let record engine dom t identical speedup =
+          runs := (engine, dom, t, identical, speedup) :: !runs;
+          Printf.printf "  %-8s %2d domain%s %8.3f s   speedup vs list %5.2fx   results %s\n%!"
+            engine dom
+            (if dom = 1 then " " else "s")
+            t speedup
+            (if identical then "identical" else "MISMATCH")
+        in
+        let dom_counts =
+          List.sort_uniq compare [ 1; domains ] |> List.filter (fun d -> d >= 1)
+        in
+        Printf.printf
+          "masked-CSR refinement engine vs list reference (GOFFGRATCH, small scale)\n%!";
+        List.iter
+          (fun d ->
+            let list_r, t_list = timeit (run ~engine:`List ~domains:d) in
+            let masked_r, t_masked = timeit (run ~engine:`Masked ~domains:d) in
+            let identical =
+              same list_r masked_r
+              &&
+              match !baseline with
+              | None ->
+                  baseline := Some list_r;
+                  true
+              | Some b -> same b list_r
+            in
+            if not identical then all_ok := false;
+            record "list" d t_list identical 1.0;
+            record "masked" d t_masked identical (t_list /. t_masked))
+          dom_counts;
+        (match !baseline with
+        | Some r ->
+            Printf.printf "  slice %d nodes, %d iterations, outcome %s, %d/%d bugs located\n%!"
+              (Slice.size r.Pipeline.slice)
+              (List.length r.Pipeline.result.Refine.iterations)
+              (Refine.outcome_string r.Pipeline.result.Refine.outcome)
+              (List.length (Pipeline.located_bugs mg r ~bug_nodes))
+              (List.length bug_nodes)
+        | None -> ());
+        (* One traced sequential run per engine: the per-iteration
+           "refine.iteration" spans are the telemetry the masked engine
+           is meant to shrink.  The masked run goes last so a --trace
+           artifact shows the masked engine. *)
+        let iteration_ms engine_name engine =
+          (* level the GC playing field: the first traced run leaves a
+             grown heap behind that would tax the second one *)
+          Gc.compact ();
+          Rca_obs.Obs.enable ();
+          ignore (run ~engine ~domains:1 ());
+          Rca_obs.Obs.disable ();
+          let iters =
+            List.filter_map
+              (fun s ->
+                if s.Rca_obs.Obs.span_name = "refine.iteration" then
+                  Some (s.Rca_obs.Obs.dur_us /. 1000.0)
+                else None)
+              (Rca_obs.Obs.spans ())
+          in
+          let freeze_ms = Rca_obs.Obs.span_total_ms "frozen.freeze" in
+          let slice_ms = Rca_obs.Obs.span_total_ms "slice.of_internals" in
+          ignore engine_name;
+          (iters, freeze_ms, slice_ms)
+        in
+        let list_iters, _, list_slice_ms = iteration_ms "list" `List in
+        let masked_iters, freeze_ms, masked_slice_ms = iteration_ms "masked" `Masked in
+        (match trace with
+        | None -> ()
+        | Some path ->
+            Rca_obs.Obs.write_chrome_trace path;
+            Printf.printf "  chrome trace (masked run) written to %s\n%!" path);
+        Printf.printf "  per-iteration spans (sequential, ms):\n";
+        Printf.printf "    %-10s %12s %12s %8s\n" "iteration" "list" "masked" "speedup";
+        List.iteri
+          (fun i lm ->
+            match List.nth_opt masked_iters i with
+            | Some mm ->
+                Printf.printf "    %-10d %12.3f %12.3f %7.2fx\n" (i + 1) lm mm (lm /. mm)
+            | None -> ())
+          list_iters;
+        Printf.printf "    slice: list %.3f ms, masked %.3f ms (freeze %.3f ms)\n%!"
+          list_slice_ms masked_slice_ms freeze_ms;
+        (* The primitives the engines actually differ on, timed in
+           isolation over many repetitions: the restricted-ancestors
+           closure (one induced-subgraph rebuild per call vs one masked
+           reverse BFS) and the slice itself. *)
+        let slice =
+          match !baseline with
+          | Some r -> r.Pipeline.slice
+          | None -> assert false
+        in
+        let fz = Frozen.freeze mg.MG.graph in
+        let alive = Frozen.mask_of_list fz slice.Slice.nodes in
+        let reps = 50 in
+        let time_reps f =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (Sys.opaque_identity (f ()))
+          done;
+          (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int reps
+        in
+        let anc_list =
+          time_reps (fun () ->
+              Refine.ancestors_within mg slice.Slice.nodes slice.Slice.targets)
+        in
+        let anc_masked =
+          time_reps (fun () -> Frozen.ancestors fz ~alive slice.Slice.targets)
+        in
+        let slice_list =
+          time_reps (fun () ->
+              Slice.of_outputs ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
+                ~engine:`List mg
+                [ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ])
+        in
+        let slice_masked =
+          time_reps (fun () ->
+              Slice.of_outputs ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
+                ~engine:`Masked ~frozen:fz mg
+                [ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ])
+        in
+        Printf.printf
+          "  engine primitives (%d reps, ms/call):\n\
+          \    ancestors-within: list %8.3f  masked %8.3f   speedup %6.2fx\n\
+          \    slice:            list %8.3f  masked %8.3f   speedup %6.2fx\n%!"
+          reps anc_list anc_masked (anc_list /. anc_masked) slice_list slice_masked
+          (slice_list /. slice_masked);
+        (match json with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Printf.fprintf oc
+              "{\n  \"bench\": \"refine\",\n  \"scale\": \"small\",\n  \"domains\": %d,\n  \
+               \"identical\": %b,\n  \"runs\": [\n"
+              domains !all_ok;
+            let rows = List.rev !runs in
+            List.iteri
+              (fun i (engine, dom, t, identical, speedup) ->
+                Printf.fprintf oc
+                  "    {\"engine\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
+                   \"speedup_vs_list\": %.3f, \"identical\": %b}%s\n"
+                  (json_escape engine) dom t speedup identical
+                  (if i = List.length rows - 1 then "" else ","))
+              rows;
+            Printf.fprintf oc "  ],\n  \"iterations_ms\": [\n";
+            let n_iters = List.length list_iters in
+            List.iteri
+              (fun i lm ->
+                let mm = Option.value ~default:0.0 (List.nth_opt masked_iters i) in
+                Printf.fprintf oc
+                  "    {\"iteration\": %d, \"list_ms\": %.3f, \"masked_ms\": %.3f}%s\n"
+                  (i + 1) lm mm
+                  (if i = n_iters - 1 then "" else ","))
+              list_iters;
+            Printf.fprintf oc
+              "  ],\n  \"slice_ms\": {\"list\": %.3f, \"masked\": %.3f, \"freeze\": %.3f},\n  \
+               \"primitives_ms\": {\"ancestors_list\": %.4f, \"ancestors_masked\": %.4f, \
+               \"slice_list\": %.4f, \"slice_masked\": %.4f},\n  \
+               \"obs\": %s\n}\n"
+              list_slice_ms masked_slice_ms freeze_ms anc_list anc_masked slice_list
+              slice_masked
+              (Rca_obs.Obs.summary_json ());
+            close_out oc;
+            Printf.printf "  telemetry written to %s\n%!" path);
+        !all_ok)
+  in
+  if not ok then begin
+    Printf.eprintf "refine bench: masked and list engines DIFFER\n";
+    exit 1
+  end
+
 (* --- static analysis: lint + differential oracle on the small model ------------------- *)
 
 let run_lint_bench ~json () =
@@ -550,6 +774,7 @@ let run_target ~json ~trace ~domains = function
   | "micro-par" -> run_micro_par ()
   | "gn" -> run_gn_bench ~trace ~json ~domains ()
   | "pipeline" -> run_pipeline_bench ~json ~trace ~domains ()
+  | "refine" -> run_refine_bench ~json ~trace ~domains ()
   | "lint" -> run_lint_bench ~json ()
   | name -> (
       match List.assoc_opt name all_experiments with
@@ -595,5 +820,6 @@ let () =
       microbenchmarks ();
       run_micro_par ();
       run_gn_bench ~trace ~json ~domains ();
-      run_pipeline_bench ~json:None ~trace:None ~domains ()
+      run_pipeline_bench ~json:None ~trace:None ~domains ();
+      run_refine_bench ~json:None ~trace:None ~domains ()
   | targets -> List.iter (run_target ~json ~trace ~domains) targets

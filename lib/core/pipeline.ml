@@ -12,31 +12,57 @@ type t = {
 }
 
 (* Run the static pipeline: slice the metagraph on the affected outputs
-   and refine with the given detector. *)
+   and refine with the given detector.
+
+   With the masked engine (the default) the metagraph is frozen into one
+   Frozen.t CSR here and shared by the slice and every refinement
+   iteration; static pruning, module restriction, residual-cluster
+   dropping and the 8a/8b removals are all node-alive mask flips over
+   that one snapshot.  With the [`List] engine the original
+   materializing path runs (pruned metagraph copy, induced-subgraph
+   rebuilds) — kept as the differential reference for `bench refine`. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
-    ?gn_approx ?domains ?(static_dead = []) (mg : MG.t) ~outputs ~detect : t =
+    ?gn_approx ?domains ?(static_dead = []) ?(engine = (`Masked : Refine.engine))
+    (mg : MG.t) ~outputs ~detect : t =
   Rca_obs.Obs.span' "pipeline.run"
     (fun t ->
       [
         ("outputs", Rca_obs.Obs.Int (List.length outputs));
+        ("engine", Rca_obs.Obs.Str (Refine.engine_string engine));
         ("slice_nodes", Rca_obs.Obs.Int (Slice.size t.slice));
         ("iterations", Rca_obs.Obs.Int (List.length t.result.Refine.iterations));
         ("outcome", Rca_obs.Obs.Str (Refine.outcome_string t.result.Refine.outcome));
       ])
   @@ fun () ->
-  let mg =
-    (* Static dead-node pruning: drop edges incident to statically-dead
-       nodes before slicing.  Observational safety is enforced here, not
-       assumed: a nominated node is only pruned when it has no outgoing
-       edges (so it cannot lie on any path into the backward closure) and
-       is not itself a slicing target. *)
-    if static_dead = [] then mg
+  let frozen =
+    match engine with `Masked -> Some (Frozen.freeze mg.MG.graph) | `List -> None
+  in
+  (* Static dead-node pruning: drop edges incident to statically-dead
+     nodes before slicing.  Observational safety is enforced here, not
+     assumed: a nominated node is only pruned when it has no outgoing
+     edges (so it cannot lie on any path into the backward closure) and
+     is not itself a slicing target.  The list engine materializes a
+     pruned metagraph copy; the masked engine just kills the nodes in
+     the slice's alive mask. *)
+  let mg_for_run, exclude =
+    if static_dead = [] then (mg, [])
     else
       Rca_obs.Obs.span' "pipeline.static_prune"
-        (fun mg' ->
+        (fun (mg', dead) ->
+          let before = G.Digraph.m mg.MG.graph in
+          let after =
+            match (engine, frozen) with
+            | `List, _ -> G.Digraph.m mg'.MG.graph
+            | `Masked, Some fz ->
+                before
+                - List.fold_left
+                    (fun acc d -> acc + G.Csr.out_degree fz.Frozen.rev d)
+                    0 dead
+            | `Masked, None -> before
+          in
           [
-            ("edges_before", Rca_obs.Obs.Int (G.Digraph.m mg.MG.graph));
-            ("edges_after", Rca_obs.Obs.Int (G.Digraph.m mg'.MG.graph));
+            ("edges_before", Rca_obs.Obs.Int before);
+            ("edges_after", Rca_obs.Obs.Int after);
           ])
       @@ fun () ->
       let targets =
@@ -55,12 +81,20 @@ let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations
       Rca_obs.Obs.incr ~by:(List.length dead) "pipeline.static_dead_pruned";
       Rca_obs.Obs.incr ~by:(List.length static_dead - List.length dead)
         "pipeline.static_dead_rejected";
-      Rca_metagraph.Prune.without_nodes mg ~dead
+      match engine with
+      | `List -> (Rca_metagraph.Prune.without_nodes mg ~dead, dead)
+      | `Masked -> (mg, dead)
   in
-  let slice = Slice.of_outputs ?keep_module ~min_cluster mg outputs in
+  let slice =
+    match engine with
+    | `List -> Slice.of_outputs ?keep_module ~min_cluster ~engine mg_for_run outputs
+    | `Masked ->
+        Slice.of_outputs ?keep_module ~min_cluster ~engine ?frozen ~exclude mg_for_run
+          outputs
+  in
   let result =
     Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx ?domains
-      mg ~initial:slice.Slice.nodes ~detect
+      ~engine ?frozen mg_for_run ~initial:slice.Slice.nodes ~detect
   in
   { slice; result }
 

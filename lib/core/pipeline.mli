@@ -19,6 +19,7 @@ val run :
   ?gn_approx:int ->
   ?domains:int ->
   ?static_dead:int list ->
+  ?engine:Refine.engine ->
   MG.t ->
   outputs:string list ->
   detect:Detector.t ->
@@ -33,7 +34,12 @@ val run :
     Only nodes with no outgoing edges that are not slicing targets are
     actually dropped, which makes the pruning observationally safe: the
     slice, refinement and located bugs are identical with and without
-    it. *)
+    it.  [engine] (default [`Masked]) selects the node-set bookkeeping
+    for both slicing and refinement: the masked engine freezes the
+    metagraph into one {!Frozen.t} CSR here and expresses static
+    pruning, module restriction and every refinement removal as
+    node-alive mask flips; [`List] runs the materializing reference
+    path.  Both engines produce bit-identical results. *)
 
 val name_of : MG.t -> int -> string
 val describe_nodes : MG.t -> int list -> string list

@@ -16,10 +16,25 @@
 
    The detector abstraction makes the same engine serve the paper's
    simulated sampling (graph reachability from known bug locations) and
-   genuine runtime sampling. *)
+   genuine runtime sampling.
+
+   Two interchangeable engines drive the node-set bookkeeping.  The
+   list-based reference rebuilds Digraph.induced_subgraph for every
+   ancestor computation — at least three times per iteration — which is
+   exactly the per-iteration graph-materialization cost the paper calls
+   the bottleneck of iterative refinement.  The masked engine (default)
+   freezes the metagraph once into a Frozen.t CSR and expresses the 8a/8b
+   removals as node-alive bitmask flips plus masked reverse BFS; the
+   community/centrality kernels receive their induced subgraphs
+   materialized from the frozen rows in the list path's exact adjacency
+   order, so iteration sequences, partitions and outcomes are bit
+   identical between the engines (locked by differential tests and the
+   `bench refine` oracle). *)
 
 module MG = Rca_metagraph.Metagraph
 module G = Rca_graph
+
+type engine = [ `List | `Masked ]
 
 type iteration = {
   nodes : int list;  (* subgraph at the start of the iteration *)
@@ -44,7 +59,8 @@ type result = {
 }
 
 (* Ancestors of [targets] inside the node set [nodes] (paths confined to
-   the current subgraph). *)
+   the current subgraph) — the list-based reference: one induced-subgraph
+   rebuild per call. *)
 let ancestors_within (mg : MG.t) nodes targets =
   let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
   let sub_targets = List.filter_map (G.Digraph.sub_of_parent sub) targets in
@@ -57,9 +73,14 @@ let ancestors_within (mg : MG.t) nodes targets =
    partitioners its Section 5.2/6.3 remarks invite. *)
 type partitioner = Girvan_newman | Louvain | Label_propagation
 
+let induced_sub ?frozen (mg : MG.t) nodes =
+  match frozen with
+  | Some fz -> Frozen.induced_sub fz nodes
+  | None -> G.Digraph.induced_subgraph mg.MG.graph nodes
+
 let communities_of (mg : MG.t) ?gn_approx ?(min_community = 3)
-    ?(partitioner = Girvan_newman) ?pool nodes =
-  let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
+    ?(partitioner = Girvan_newman) ?pool ?frozen nodes =
+  let sub = induced_sub ?frozen mg nodes in
   let partition =
     match partitioner with
     | Girvan_newman ->
@@ -86,8 +107,9 @@ let centrality_scores ?pool measure g =
    community's nodes).  Synthetic nodes (localized intrinsics, PRNG
    markers) cannot be instrumented at runtime and are skipped when picking
    sampling sites. *)
-let central_nodes (mg : MG.t) ?(m_sample = 10) ?(measure = Eigenvector_in) ?pool community =
-  let sub = G.Digraph.induced_subgraph mg.MG.graph community in
+let central_nodes (mg : MG.t) ?(m_sample = 10) ?(measure = Eigenvector_in) ?pool ?frozen
+    community =
+  let sub = induced_sub ?frozen mg community in
   let cent = centrality_scores ?pool measure sub.G.Digraph.graph in
   G.Centrality.top_k cent (G.Digraph.n sub.G.Digraph.graph)
   |> List.filter_map (fun (id, _) ->
@@ -119,11 +141,21 @@ let by_magnitude magnitude detected =
            (fun best v -> if magnitude v > magnitude best then v else best)
            (List.hd detected) (List.tl detected))
 
-let smallest_ancestry (mg : MG.t) nodes detected =
+let smallest_ancestry ?frozen (mg : MG.t) nodes detected =
   match detected with
   | [] -> None
   | _ ->
-      let size v = List.length (ancestors_within mg nodes [ v ]) in
+      (* one frozen CSR, one masked reverse BFS per candidate — the
+         previous implementation rebuilt the induced subgraph once per
+         candidate via [ancestors_within]. *)
+      let fz = match frozen with Some f -> f | None -> Frozen.freeze mg.MG.graph in
+      let alive = Frozen.mask_of_list fz (List.sort_uniq compare nodes) in
+      let size v =
+        let dist = Frozen.ancestor_dist fz ~alive [ v ] in
+        let c = ref 0 in
+        Array.iter (fun d -> if d <> G.Traverse.no_dist then incr c) dist;
+        !c
+      in
       Some
         (fst
            (List.fold_left
@@ -139,25 +171,44 @@ let outcome_string = function
   | Exhausted -> "exhausted"
   | Emptied -> "emptied"
 
+let engine_string = function `List -> "list" | `Masked -> "masked"
+
 let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_size = 30)
-    ?gn_approx ?partitioner ?measure ?choose_when_stuck ?(domains = 1) (mg : MG.t)
-    ~initial ~(detect : Detector.t) : result =
+    ?gn_approx ?partitioner ?measure ?choose_when_stuck ?(domains = 1)
+    ?(engine = (`Masked : engine)) ?frozen (mg : MG.t) ~initial ~(detect : Detector.t) :
+    result =
   (* One pool for the whole refinement: spawned once, reused by every
      Girvan–Newman betweenness recomputation and centrality sweep.
      [domains <= 1] keeps today's sequential code paths byte-for-byte. *)
   let run_with pool =
+  (* One frozen snapshot for the whole refinement (reused from the
+     caller's when given): every 8a/8b ancestor sweep is a masked reverse
+     BFS on it, and the per-iteration induced subgraphs handed to the
+     community/centrality kernels are materialized from its rows. *)
+  let fzo =
+    match engine with
+    | `List -> None
+    | `Masked ->
+        Some (match frozen with Some f -> f | None -> Frozen.freeze mg.MG.graph)
+  in
   let iterations = ref [] in
   let finish outcome final_nodes =
     { iterations = List.rev !iterations; final_nodes; outcome }
   in
-  let rec loop iter_no nodes budget =
-    let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
+  (* [alive] mirrors [nodes] as a bitmask whenever the masked engine is
+     active; it is rebuilt from the next node list at each transition. *)
+  let rec loop iter_no nodes alive budget =
     (* [nodes] is sorted-unique with every id valid, so the induced
-       subgraph's node count equals [List.length nodes] — the membership
-       and fixed-point checks below reuse it instead of re-walking the
-       lists each iteration. *)
-    let n_nodes = G.Digraph.n sub.G.Digraph.graph in
-    let n_edges = G.Digraph.m sub.G.Digraph.graph in
+       subgraph's node count equals [List.length nodes].  The masked
+       engine never materializes the subgraph here: the node count is
+       the list length and the edge count a masked row scan. *)
+    let n_nodes, n_edges =
+      match fzo with
+      | Some fz -> (List.length nodes, Frozen.alive_arcs fz alive)
+      | None ->
+          let sub = G.Digraph.induced_subgraph mg.MG.graph nodes in
+          (G.Digraph.n sub.G.Digraph.graph, G.Digraph.m sub.G.Digraph.graph)
+    in
     if n_nodes <= stop_size then finish Converged nodes
     else if budget = 0 then finish Exhausted nodes
     else begin
@@ -169,6 +220,7 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
                 ("iteration", Rca_obs.Obs.Int iter_no);
                 ("nodes", Rca_obs.Obs.Int n_nodes);
                 ("edges", Rca_obs.Obs.Int n_edges);
+                ("engine", Rca_obs.Obs.Str (engine_string engine));
               ]
             in
             match d with
@@ -184,7 +236,8 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
                   ])
         @@ fun () ->
         let communities =
-          communities_of mg ?gn_approx ~min_community ?partitioner ?pool nodes
+          communities_of mg ?gn_approx ~min_community ?partitioner ?pool ?frozen:fzo
+            nodes
         in
         if communities = [] then
           (* increasingly disconnected graph: no communities left to split
@@ -192,27 +245,45 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
           `Stop (nodes, Fixed_point)
         else begin
           let sampled_by_community =
-            List.map (central_nodes mg ~m_sample ?measure ?pool) communities
+            List.map (central_nodes mg ~m_sample ?measure ?pool ?frozen:fzo) communities
           in
           let sampled = List.sort_uniq compare (List.concat sampled_by_community) in
           let detected =
             Rca_obs.Obs.span "refine.detect" (fun () ->
                 List.sort_uniq compare (detect sampled))
           in
+          (* Ancestors of [targets] within the current node set: a masked
+             reverse BFS on the frozen CSR, or the induced-subgraph
+             reference.  Returns the surviving-node predicate as a
+             distance array in the masked case so 8a's complement and
+             8b's closure both come from one traversal. *)
+          let masked_keep targets =
+            match fzo with
+            | Some fz ->
+                let dist = Frozen.ancestor_dist fz ~alive targets in
+                Some (fun v -> dist.(v) <> G.Traverse.no_dist)
+            | None -> None
+          in
           (* Each branch also yields |next| so the refinement checks run
              on counters instead of O(n) list walks per iteration. *)
           let next, n_next =
             if detected = [] then begin
               (* 8a: discard everything that can influence the sampled nodes *)
-              let infl = Hashtbl.create 256 in
-              List.iter
-                (fun v -> Hashtbl.replace infl v ())
-                (ancestors_within mg nodes sampled);
+              let influenced =
+                match masked_keep sampled with
+                | Some in_closure -> in_closure
+                | None ->
+                    let infl = Hashtbl.create 256 in
+                    List.iter
+                      (fun v -> Hashtbl.replace infl v ())
+                      (ancestors_within mg nodes sampled);
+                    Hashtbl.mem infl
+              in
               let kept = ref 0 in
               let next =
                 List.filter
                   (fun v ->
-                    let keep = not (Hashtbl.mem infl v) in
+                    let keep = not (influenced v) in
                     if keep then incr kept;
                     keep)
                   nodes
@@ -220,8 +291,22 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
               (next, !kept)
             end
             else begin
-              let anc = ancestors_within mg nodes detected in
-              (anc, List.length anc)
+              (* 8b: keep exactly the detected nodes' ancestor closure *)
+              match masked_keep detected with
+              | Some in_closure ->
+                  let kept = ref 0 in
+                  let next =
+                    List.filter
+                      (fun v ->
+                        let keep = in_closure v in
+                        if keep then incr kept;
+                        keep)
+                      nodes
+                  in
+                  (next, !kept)
+              | None ->
+                  let anc = ancestors_within mg nodes detected in
+                  (anc, List.length anc)
             end
           in
           iterations :=
@@ -234,9 +319,22 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
               match choose_when_stuck with
               | Some choose -> (
                   match choose nodes detected with
-                  | Some v ->
-                      let anc = ancestors_within mg nodes [ v ] in
-                      (anc, List.length anc)
+                  | Some v -> (
+                      match masked_keep [ v ] with
+                      | Some in_closure ->
+                          let kept = ref 0 in
+                          let next =
+                            List.filter
+                              (fun w ->
+                                let keep = in_closure w in
+                                if keep then incr kept;
+                                keep)
+                              nodes
+                          in
+                          (next, !kept)
+                      | None ->
+                          let anc = ancestors_within mg nodes [ v ] in
+                          (anc, List.length anc))
                   | None -> (next, n_next))
               | None -> (next, n_next)
             else (next, n_next)
@@ -251,15 +349,26 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
       in
       match decision with
       | `Stop (final, outcome) -> finish outcome final
-      | `Continue (next, _, _) -> loop (iter_no + 1) next (budget - 1)
+      | `Continue (next, _, _) ->
+          let alive =
+            match fzo with Some fz -> Frozen.mask_of_list fz next | None -> alive
+          in
+          loop (iter_no + 1) next alive (budget - 1)
     end
   in
-  loop 1 (List.sort_uniq compare initial) max_iterations
+  let initial = List.sort_uniq compare initial in
+  let alive0 =
+    match fzo with
+    | Some fz -> Frozen.mask_of_list fz initial
+    | None -> Bytes.empty
+  in
+  loop 1 initial alive0 max_iterations
   in
   Rca_obs.Obs.span' "refine.run"
     (fun r ->
       [
         ("domains", Rca_obs.Obs.Int domains);
+        ("engine", Rca_obs.Obs.Str (engine_string engine));
         ("iterations", Rca_obs.Obs.Int (List.length r.iterations));
         ("final_nodes", Rca_obs.Obs.Int (List.length r.final_nodes));
         ("outcome", Rca_obs.Obs.Str (outcome_string r.outcome));

@@ -1,8 +1,19 @@
 (** Algorithm 5.4: iterative refinement by community detection,
     eigenvector in-centrality and (simulated or real) runtime sampling —
-    a k-ary search over the slice. *)
+    a k-ary search over the slice.
+
+    Two interchangeable engines drive the node-set bookkeeping: the
+    list-based reference ([`List]) rebuilds
+    [Digraph.induced_subgraph] for every ancestor computation, while the
+    masked engine ([`Masked], the default) freezes the metagraph once
+    into a {!Frozen.t} CSR and expresses the 8a/8b removals as
+    node-alive bitmask flips plus masked reverse BFS.  Iteration
+    sequences, partitions, final node sets and outcomes are bit
+    identical between the engines. *)
 
 module MG := Rca_metagraph.Metagraph
+
+type engine = [ `List | `Masked ]
 
 type iteration = {
   nodes : int list;  (** subgraph at the start of the iteration *)
@@ -27,7 +38,9 @@ type result = {
 }
 
 val ancestors_within : MG.t -> int list -> int list -> int list
-(** Ancestors of the targets with paths confined to the given node set. *)
+(** Ancestors of the targets with paths confined to the given node set —
+    the list-based reference (one induced-subgraph rebuild per call);
+    the masked equivalent is {!Frozen.ancestors}. *)
 
 type partitioner = Girvan_newman | Louvain | Label_propagation
 
@@ -37,11 +50,14 @@ val communities_of :
   ?min_community:int ->
   ?partitioner:partitioner ->
   ?pool:Rca_graph.Pool.t ->
+  ?frozen:Frozen.t ->
   int list ->
   int list list
 (** Step 5's community split on the induced subgraph: one Girvan–Newman
     iteration by default, or one of the alternative partitioners.  [pool]
-    parallelizes the Girvan–Newman betweenness recomputations. *)
+    parallelizes the Girvan–Newman betweenness recomputations; [frozen]
+    materializes the induced subgraph from the frozen CSR rows instead of
+    the adjacency lists (identical result). *)
 
 type centrality_measure = Eigenvector_in | Pagerank | In_degree | Non_backtracking_in
 
@@ -53,6 +69,7 @@ val central_nodes :
   ?m_sample:int ->
   ?measure:centrality_measure ->
   ?pool:Rca_graph.Pool.t ->
+  ?frozen:Frozen.t ->
   int list ->
   int list
 (** The top-m central, runtime-instrumentable nodes of one community
@@ -66,10 +83,12 @@ val by_magnitude : (int -> float) -> int list -> int option
 (** Chooser for [choose_when_stuck]: the detected node with the greatest
     observed difference magnitude (the paper's proposed ranking). *)
 
-val smallest_ancestry : MG.t -> int list -> int list -> int option
+val smallest_ancestry : ?frozen:Frozen.t -> MG.t -> int list -> int list -> int option
 (** Chooser: the detected node with the smallest in-slice ancestor
     closure — the maximally refining pick when all sampled nodes appear
-    equally affected (the paper's alternative proposal). *)
+    equally affected (the paper's alternative proposal).  One frozen CSR
+    and one masked reverse BFS per candidate; pass [frozen] to reuse an
+    existing snapshot. *)
 
 val refine :
   ?m_sample:int ->
@@ -81,6 +100,8 @@ val refine :
   ?measure:centrality_measure ->
   ?choose_when_stuck:(int list -> int list -> int option) ->
   ?domains:int ->
+  ?engine:engine ->
+  ?frozen:Frozen.t ->
   MG.t ->
   initial:int list ->
   detect:Detector.t ->
@@ -91,6 +112,10 @@ val refine :
     (9).  [domains] (default 1) sizes a domain pool — spawned once for
     the whole refinement — that parallelizes the community-detection and
     centrality hot paths; 1 keeps the sequential code paths byte-for-byte
-    and any value produces the same final node set. *)
+    and any value produces the same final node set.  [engine] (default
+    [`Masked]) selects the node-set bookkeeping; [frozen] reuses the
+    caller's snapshot (one per {!Pipeline.run}) instead of freezing
+    again.  Both engines produce bit-identical results. *)
 
 val outcome_string : outcome -> string
+val engine_string : engine -> string

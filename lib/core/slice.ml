@@ -6,15 +6,24 @@
    induce the subgraph on the union.  Because every ancestor of a target
    lies on the shortest path from itself to the target, the union equals
    the ancestor set — a static backward slice, made "hybrid" by the fact
-   that the graph was built from coverage-filtered source. *)
+   that the graph was built from coverage-filtered source.
+
+   Two interchangeable engines compute the slice: the list-based path
+   (BFS over Digraph.pred plus induced-subgraph components — kept as the
+   differential reference) and the masked-CSR path (one frozen Frozen.t
+   snapshot, restriction and cluster dropping as node-alive mask flips),
+   which is the default.  Both return identical slices. *)
 
 module MG = Rca_metagraph.Metagraph
 module G = Rca_graph
 
+type engine = [ `List | `Masked ]
+
 type t = {
-  mg : MG.t;  (* the (possibly restricted) graph the slice lives in *)
+  mg : MG.t;  (* the graph the slice lives in *)
   nodes : int list;  (* slice node ids, ascending *)
   targets : int list;  (* the slicing criteria nodes *)
+  node_set : (int, unit) Hashtbl.t;  (* hash set over [nodes]: O(1) membership *)
 }
 
 let size t = List.length t.nodes
@@ -31,13 +40,13 @@ let target_nodes (mg : MG.t) internals =
   List.concat_map (fun n -> MG.nodes_with_canonical mg n) internals
   |> List.sort_uniq compare
 
-(* Keep only nodes from modules accepted by [keep_module] (e.g. the
-   CAM-only restriction of Section 6): edges through excluded modules are
-   cut, which produces the residual clusters the paper then drops. *)
-let restricted_ancestors (mg : MG.t) ~keep_module targets =
+(* Keep only nodes satisfying the per-node [keep] predicate (e.g. the
+   CAM-only restriction of Section 6, plus statically-dead exclusions):
+   edges through excluded nodes are cut, which produces the residual
+   clusters the paper then drops. *)
+let restricted_ancestors (mg : MG.t) ~keep targets =
   let g = mg.MG.graph in
   let n = G.Digraph.n g in
-  let keep = Array.init n (fun id -> keep_module (MG.node mg id).MG.module_) in
   let mark = Array.make n false in
   let q = Queue.create () in
   List.iter
@@ -80,31 +89,62 @@ let drop_small_clusters (mg : MG.t) nodes ~min_cluster =
     |> List.sort compare
   end
 
+(* Masked counterpart: components over the frozen CSR restricted to the
+   slice nodes; small clusters disappear by never being listed — no
+   induced subgraph, no id remapping. *)
+let drop_small_clusters_masked (fz : Frozen.t) nodes ~min_cluster =
+  if min_cluster <= 1 then nodes
+  else begin
+    let alive = Frozen.mask_of_list fz nodes in
+    Frozen.components fz ~alive
+    |> List.concat_map (fun comp -> if List.length comp >= min_cluster then comp else [])
+    |> List.sort compare
+  end
+
 (* Slice on internal canonical names. *)
-let of_internals ?(keep_module = fun _ -> true) ?(min_cluster = 1) (mg : MG.t) internals : t
-    =
+let of_internals ?(keep_module = fun _ -> true) ?(min_cluster = 1) ?(engine = `Masked)
+    ?frozen ?(exclude = []) (mg : MG.t) internals : t =
   Rca_obs.Obs.span' "slice.of_internals"
     (fun t ->
       [
         ("internals", Rca_obs.Obs.Int (List.length internals));
         ("targets", Rca_obs.Obs.Int (List.length t.targets));
         ("nodes", Rca_obs.Obs.Int (List.length t.nodes));
+        ( "engine",
+          Rca_obs.Obs.Str (match engine with `List -> "list" | `Masked -> "masked") );
       ])
   @@ fun () ->
   let targets = target_nodes mg internals in
-  let nodes = restricted_ancestors mg ~keep_module targets in
-  let nodes = drop_small_clusters mg nodes ~min_cluster in
-  { mg; nodes; targets = List.filter (fun t -> List.mem t nodes) targets }
+  let n = G.Digraph.n mg.MG.graph in
+  let keep = Array.init n (fun id -> keep_module (MG.node mg id).MG.module_) in
+  List.iter (fun id -> if id >= 0 && id < n then keep.(id) <- false) exclude;
+  let nodes =
+    match engine with
+    | `List ->
+        let nodes = restricted_ancestors mg ~keep targets in
+        drop_small_clusters mg nodes ~min_cluster
+    | `Masked ->
+        let fz =
+          match frozen with Some f -> f | None -> Frozen.freeze mg.MG.graph
+        in
+        let alive = Bytes.init n (fun id -> if keep.(id) then '\001' else '\000') in
+        let nodes = G.Traverse.ancestors_csr ~rev:fz.Frozen.rev ~alive targets in
+        drop_small_clusters_masked fz nodes ~min_cluster
+  in
+  let node_set = Hashtbl.create (2 * List.length nodes + 1) in
+  List.iter (fun v -> Hashtbl.replace node_set v ()) nodes;
+  { mg; nodes; targets = List.filter (Hashtbl.mem node_set) targets; node_set }
 
 (* Slice on affected output (history) names, resolving the label -> internal
    mapping first. *)
-let of_outputs ?keep_module ?min_cluster (mg : MG.t) outputs : t =
-  of_internals ?keep_module ?min_cluster mg (internal_names_of_outputs mg outputs)
+let of_outputs ?keep_module ?min_cluster ?engine ?frozen ?exclude (mg : MG.t) outputs : t =
+  of_internals ?keep_module ?min_cluster ?engine ?frozen ?exclude mg
+    (internal_names_of_outputs mg outputs)
 
 (* The induced subgraph of the slice, with the node correspondence. *)
 let subgraph t = G.Digraph.induced_subgraph t.mg.MG.graph t.nodes
 
-let contains t id = List.mem id t.nodes
+let contains t id = Hashtbl.mem t.node_set id
 
 let node_names t =
   List.map (fun id -> (t.mg.MG.node_meta.(id)).MG.unique) t.nodes

@@ -50,6 +50,46 @@ let largest_weakly_connected g =
         (fun best c -> if List.length c > List.length best then c else best)
         [] comps
 
+(* Masked-CSR variant: weak components of the subgraph induced on the
+   alive nodes, without materializing it.  [rev] is the frozen graph's
+   transpose.  Scanning seeds in ascending id order and bucketing each
+   component ascending reproduces exactly what
+   [weakly_connected_components (induced_subgraph g alive_nodes)] yields
+   after mapping back to parent ids (the induced subgraph renumbers an
+   ascending node list ascending, so discovery order agrees). *)
+let weakly_connected_components_csr (csr : Csr.t) ~rev ~alive =
+  let n = csr.Csr.n in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if Csr.mask_mem alive s && label.(s) = -1 then begin
+      let c = !next in
+      incr next;
+      label.(s) <- c;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let visit_row (t : Csr.t) =
+          for i = t.Csr.row.(u) to t.Csr.row.(u + 1) - 1 do
+            let v = t.Csr.col.(i) in
+            if Csr.mask_mem alive v && label.(v) = -1 then begin
+              label.(v) <- c;
+              Queue.add v q
+            end
+          done
+        in
+        visit_row csr;
+        visit_row rev
+      done
+    end
+  done;
+  let comps = Array.make !next [] in
+  for v = n - 1 downto 0 do
+    if label.(v) <> -1 then comps.(label.(v)) <- v :: comps.(label.(v))
+  done;
+  Array.to_list comps
+
 (* Drop components below [min_size] — the paper removes residual clusters of
    fewer than 3 or 4 nodes before plotting and community analysis. *)
 let filter_small_components g ~min_size =

@@ -127,6 +127,61 @@ let transpose t =
   done;
   { n; m; row; col; src; rev = compute_rev ~m ~col ~src }
 
+(* --- node-alive masks ------------------------------------------------------
+
+   A mask is one byte per node ('\001' alive).  Together with the frozen
+   CSR (and its transpose) it expresses "the subgraph induced on these
+   nodes" without materializing anything: the masked kernels below simply
+   skip dead endpoints, so node removal is a byte flip instead of an
+   induced-subgraph rebuild. *)
+
+type mask = Bytes.t
+
+let full_mask t = Bytes.make t.n '\001'
+
+let empty_mask t = Bytes.make t.n '\000'
+
+let mask_of_list t nodes =
+  let m = Bytes.make t.n '\000' in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= t.n then invalid_arg "Csr.mask_of_list: node out of range";
+      Bytes.unsafe_set m v '\001')
+    nodes;
+  m
+
+let mask_mem m v = Bytes.unsafe_get m v <> '\000'
+
+let mask_set m v alive = Bytes.unsafe_set m v (if alive then '\001' else '\000')
+
+let mask_count m =
+  let c = ref 0 in
+  for v = 0 to Bytes.length m - 1 do
+    if Bytes.unsafe_get m v <> '\000' then incr c
+  done;
+  !c
+
+let mask_to_list m =
+  let acc = ref [] in
+  for v = Bytes.length m - 1 downto 0 do
+    if Bytes.unsafe_get m v <> '\000' then acc := v :: !acc
+  done;
+  !acc
+
+let mask_copy = Bytes.copy
+
+(* Arcs with both endpoints alive — the induced subgraph's edge count,
+   without building it.  O(sum of alive out-degrees). *)
+let alive_arcs t m =
+  let c = ref 0 in
+  for u = 0 to t.n - 1 do
+    if mask_mem m u then
+      for i = t.row.(u) to t.row.(u + 1) - 1 do
+        if mask_mem m t.col.(i) then incr c
+      done
+  done;
+  !c
+
 let out_degree t u = t.row.(u + 1) - t.row.(u)
 
 let arc_id t u v =

@@ -45,6 +45,35 @@ val transpose : t -> t
     the accumulation order of a sequential edge scatter — the gather
     over a transposed row is bitwise identical to it. *)
 
+(** {1 Node-alive masks}
+
+    One byte per node (['\001'] alive).  A frozen CSR plus a mask is the
+    masked refinement engine's representation of "the subgraph induced on
+    the alive nodes": kernels skip dead endpoints, so removing a node is
+    a byte flip instead of an induced-subgraph rebuild. *)
+
+type mask = Bytes.t
+
+val full_mask : t -> mask
+val empty_mask : t -> mask
+
+val mask_of_list : t -> int list -> mask
+(** Mask with exactly the listed nodes alive; raises on out-of-range
+    ids. *)
+
+val mask_mem : mask -> int -> bool
+val mask_set : mask -> int -> bool -> unit
+val mask_count : mask -> int
+
+val mask_to_list : mask -> int list
+(** Alive nodes, ascending. *)
+
+val mask_copy : mask -> mask
+
+val alive_arcs : t -> mask -> int
+(** Number of arcs with both endpoints alive — the induced subgraph's
+    edge count, computed without building it. *)
+
 val out_degree : t -> int -> int
 
 val arc_id : t -> int -> int -> int

@@ -67,6 +67,52 @@ let mark_to_list mark =
   done;
   !acc
 
+(* --- masked-CSR variants ----------------------------------------------------
+
+   The same BFS primitives over a frozen CSR restricted to a node-alive
+   mask: the distances (and hence ancestor sets) equal those of the
+   subgraph induced on the alive nodes, with no subgraph materialization.
+   Dead sources are skipped — they are simply "not in the subgraph",
+   matching how the list-based pipeline filters targets through
+   [Digraph.sub_of_parent]. *)
+
+let bfs_dist_csr (csr : Csr.t) ~alive sources =
+  let n = csr.Csr.n in
+  let dist = Array.make n no_dist in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Traverse.bfs_dist_csr: bad source";
+      if Csr.mask_mem alive s && dist.(s) = no_dist then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for i = csr.Csr.row.(u) to csr.Csr.row.(u + 1) - 1 do
+      let v = csr.Csr.col.(i) in
+      if Csr.mask_mem alive v && dist.(v) = no_dist then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    done
+  done;
+  dist
+
+(* Distances *to* the targets over the masked CSR.  [rev] must be the
+   transpose of the frozen graph ({!Csr.transpose}), computed once and
+   reused — a reverse BFS is a forward BFS on it. *)
+let bfs_dist_rev_csr ~rev ~alive targets = bfs_dist_csr rev ~alive targets
+
+let descendants_csr (csr : Csr.t) ~alive sources =
+  mark_to_list (bfs_dist_csr csr ~alive sources)
+
+(* Ancestors of the alive targets among the alive nodes, ascending —
+   [ancestors] of the induced subgraph, in parent ids, without building
+   it. *)
+let ancestors_csr ~rev ~alive targets = mark_to_list (bfs_dist_rev_csr ~rev ~alive targets)
+
 let descendants g sources = mark_to_list (bfs_dist g sources)
 
 (* Ancestors of the targets, targets included: the node set of the union of
@@ -115,27 +161,33 @@ let shortest_path g ~src ~dst =
       let rec build v acc = if v = src then v :: acc else build parent.(v) (v :: acc) in
       Some (build dst [])
 
-(* Nodes lying on at least one shortest path from any source to any target:
-   v qualifies iff d(sources, v) + d(v, targets) = d(sources, targets) for
-   some target distance.  Used to extract the purple "path segments" the
-   paper draws between bug locations and sampled nodes. *)
+(* Nodes lying on at least one shortest path from any source to any target.
+   The criterion is per target: v is on a shortest source-to-t path iff
+   d(sources, v) + d(v, t) = d(sources, t) — one reverse BFS per reachable
+   target.  (A single global minimum over all targets silently dropped
+   every node on a shortest path to a farther target.)  Used to extract
+   the purple "path segments" the paper draws between bug locations and
+   sampled nodes. *)
 let shortest_path_dag_nodes g ~sources ~targets =
+  let n = Digraph.n g in
   let dfwd = bfs_dist g sources in
-  let drev = bfs_dist_rev g targets in
-  let best =
-    List.fold_left
-      (fun acc t -> if dfwd.(t) = no_dist then acc else min acc dfwd.(t))
-      max_int targets
-  in
-  if best = max_int then []
-  else begin
-    let acc = ref [] in
-    for v = Digraph.n g - 1 downto 0 do
-      if dfwd.(v) <> no_dist && drev.(v) <> no_dist && dfwd.(v) + drev.(v) = best then
-        acc := v :: !acc
-    done;
-    !acc
-  end
+  let keep = Array.make n false in
+  List.iter
+    (fun t ->
+      if t < 0 || t >= n then invalid_arg "Traverse.shortest_path_dag_nodes: bad target";
+      if dfwd.(t) <> no_dist then begin
+        let dt = bfs_dist_rev g [ t ] in
+        for v = 0 to n - 1 do
+          if dfwd.(v) <> no_dist && dt.(v) <> no_dist && dfwd.(v) + dt.(v) = dfwd.(t)
+          then keep.(v) <- true
+        done
+      end)
+    (List.sort_uniq compare targets);
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if keep.(v) then acc := v :: !acc
+  done;
+  !acc
 
 (* Topological order (Kahn); [None] when the graph has a directed cycle. *)
 let topological_order g =

@@ -434,6 +434,82 @@ let prop_eigenvector_pool_bitwise =
         (fun (_, pool) -> seq = Centrality.eigenvector ~direction:Centrality.In ~pool g)
         pools)
 
+(* --- masked traversal kernels = list kernels on the induced subgraph ------------ *)
+
+(* Node-alive masking must be indistinguishable from materializing the
+   induced subgraph on the alive nodes: distances, ancestor sets and
+   weakly connected components all agree after mapping sub ids back to
+   parent ids.  Alive subsets are derived from an extra generator seed. *)
+let masked_gen = QCheck2.Gen.(pair graph_gen (int_range 0 1_000_000))
+
+let alive_subset g seed =
+  let st = Random.State.make [| seed |] in
+  List.filter (fun _ -> Random.State.bool st) (List.init (Digraph.n g) Fun.id)
+
+let prop_masked_bfs_dist =
+  QCheck2.Test.make ~name:"masked BFS dist = BFS on induced subgraph" ~count:40
+    masked_gen (fun (g, seed) ->
+      let n = Digraph.n g in
+      let alive_nodes = alive_subset g seed in
+      let csr = Csr.of_digraph g in
+      let alive = Csr.mask_of_list csr alive_nodes in
+      let sub = Digraph.induced_subgraph g alive_nodes in
+      let sources = List.filteri (fun i _ -> i mod 2 = 0) alive_nodes in
+      let masked = Traverse.bfs_dist_csr csr ~alive sources in
+      let dsub =
+        Traverse.bfs_dist sub.Digraph.graph
+          (List.filter_map (Digraph.sub_of_parent sub) sources)
+      in
+      List.for_all
+        (fun v ->
+          match Digraph.sub_of_parent sub v with
+          | Some sv -> masked.(v) = dsub.(sv)
+          | None -> masked.(v) = Traverse.no_dist)
+        (List.init n Fun.id)
+      (* and a full mask reproduces the unmasked traversal exactly *)
+      && Traverse.bfs_dist_csr csr ~alive:(Csr.full_mask csr) sources
+         = Traverse.bfs_dist g sources)
+
+let prop_masked_ancestors =
+  QCheck2.Test.make ~name:"masked ancestors = ancestors of induced subgraph" ~count:40
+    masked_gen (fun (g, seed) ->
+      let alive_nodes = alive_subset g seed in
+      let csr = Csr.of_digraph g in
+      let rev = Csr.transpose csr in
+      let alive = Csr.mask_of_list csr alive_nodes in
+      let sub = Digraph.induced_subgraph g alive_nodes in
+      let targets = List.filteri (fun i _ -> i mod 3 = 0) alive_nodes in
+      let masked = Traverse.ancestors_csr ~rev ~alive targets in
+      let reference =
+        Traverse.ancestors sub.Digraph.graph
+          (List.filter_map (Digraph.sub_of_parent sub) targets)
+        |> List.map (Digraph.sub_to_parent sub)
+        |> List.sort compare
+      in
+      masked = reference
+      && Traverse.ancestors_csr ~rev ~alive:(Csr.full_mask csr) targets
+         = Traverse.ancestors g targets)
+
+let prop_masked_components =
+  QCheck2.Test.make
+    ~name:"masked weak components = components of induced subgraph (same order)"
+    ~count:40 masked_gen (fun (g, seed) ->
+      let alive_nodes = alive_subset g seed in
+      let csr = Csr.of_digraph g in
+      let rev = Csr.transpose csr in
+      let alive = Csr.mask_of_list csr alive_nodes in
+      let sub = Digraph.induced_subgraph g alive_nodes in
+      let masked = Components.weakly_connected_components_csr csr ~rev ~alive in
+      let reference =
+        Components.weakly_connected_components sub.Digraph.graph
+        |> List.map (List.map (Digraph.sub_to_parent sub))
+      in
+      (* exact equality locks the discovery order (ascending smallest
+         member) and the ascending order inside each component *)
+      masked = reference
+      && Components.weakly_connected_components_csr csr ~rev ~alive:(Csr.full_mask csr)
+         = Components.weakly_connected_components g)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -445,6 +521,9 @@ let qcheck_cases =
       prop_csr_sources_restriction;
       prop_eigenvector_gather_matches_scatter;
       prop_eigenvector_pool_bitwise;
+      prop_masked_bfs_dist;
+      prop_masked_ancestors;
+      prop_masked_components;
     ]
 
 let () =

@@ -159,6 +159,23 @@ let dag_nodes_on_shortest_paths () =
   check_ilist "both shortest branches, no detour" [ 0; 1; 2; 3 ]
     (Traverse.shortest_path_dag_nodes g ~sources:[ 0 ] ~targets:[ 3 ])
 
+let dag_nodes_per_target_criterion () =
+  (* Regression: the criterion is per target, not the global minimum
+     source->target distance.  Targets 4 (distance 1) and 3 (distance 3):
+     the old implementation kept only nodes with dfwd+dback = 1, erasing
+     the whole 0->1->2->3 chain.  Nodes on the farther target's shortest
+     path must appear; the detour 0->5->6->7->3 (length 4 > 3) must not. *)
+  let g =
+    Digraph.of_edges ~n:8
+      [ (0, 1); (1, 2); (2, 3); (0, 4); (0, 5); (5, 6); (6, 7); (7, 3) ]
+  in
+  check_ilist "near target only" [ 0; 4 ]
+    (Traverse.shortest_path_dag_nodes g ~sources:[ 0 ] ~targets:[ 4 ]);
+  check_ilist "far target keeps its chain" [ 0; 1; 2; 3 ]
+    (Traverse.shortest_path_dag_nodes g ~sources:[ 0 ] ~targets:[ 3 ]);
+  check_ilist "both targets, union of per-target paths" [ 0; 1; 2; 3; 4 ]
+    (Traverse.shortest_path_dag_nodes g ~sources:[ 0 ] ~targets:[ 3; 4 ])
+
 let topo_order_on_dag () =
   let g = Digraph.of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
   match Traverse.topological_order g with
@@ -600,6 +617,8 @@ let () =
           Alcotest.test_case "shortest path" `Quick shortest_path_nodes;
           Alcotest.test_case "prefers short" `Quick shortest_path_prefers_short;
           Alcotest.test_case "shortest path dag" `Quick dag_nodes_on_shortest_paths;
+          Alcotest.test_case "shortest path dag per-target" `Quick
+            dag_nodes_per_target_criterion;
           Alcotest.test_case "topological order" `Quick topo_order_on_dag;
           Alcotest.test_case "cycle detection" `Quick topo_order_detects_cycle;
         ] );

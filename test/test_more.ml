@@ -246,9 +246,11 @@ let label_propagation_deterministic () =
   check_bool "same labels" true (p1.G.Community.labels = p2.G.Community.labels)
 
 let shortest_path_dag_multi_target () =
-  (* 0->1->2 and 0->3: targets {2,3}; best distance is 1 (to 3) *)
+  (* 0->1->2 and 0->3: targets {2,3}.  Each target keeps its own shortest
+     paths: 0->3 (distance 1) and 0->1->2 (distance 2) — the farther
+     target's path nodes must appear, not just the globally nearest. *)
   let g = G.Digraph.of_edges ~n:4 [ (0, 1); (1, 2); (0, 3) ] in
-  Alcotest.(check (list int)) "min-length paths only" [ 0; 3 ]
+  Alcotest.(check (list int)) "per-target shortest paths" [ 0; 1; 2; 3 ]
     (G.Traverse.shortest_path_dag_nodes g ~sources:[ 0 ] ~targets:[ 2; 3 ])
 
 let girvan_newman_max_removals_budget () =

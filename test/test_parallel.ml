@@ -266,6 +266,154 @@ let refine_domains_deterministic () =
   Alcotest.(check (list int)) "two parallel runs identical"
     a.Rca_core.Refine.final_nodes b.Rca_core.Refine.final_nodes
 
+let pipeline_engines_identical () =
+  (* End to end on the tiny model fixture: slice, every iteration, final
+     nodes, outcome and located bugs agree between the engines — with
+     and without a reachability detector, and with static-dead pruning
+     (mask flips vs materialized Prune.without_nodes) in play. *)
+  let fixture = Lazy.force tiny_fixture in
+  let mg = fixture.Fixture.mg in
+  let dead =
+    (* every sink node is a legitimate static-dead nomination *)
+    List.filter
+      (fun v -> Digraph.out_degree mg.Rca_metagraph.Metagraph.graph v = 0)
+      (List.init (Rca_metagraph.Metagraph.n_nodes mg) Fun.id)
+  in
+  List.iter
+    (fun (label, bug_nodes, static_dead) ->
+      let detect =
+        if bug_nodes = [] then Rca_core.Detector.never
+        else Rca_core.Detector.reachability mg ~bug_nodes
+      in
+      let run engine =
+        Rca_core.Pipeline.run ~min_cluster:2 ~stop_size:2 ~max_iterations:3 ~engine
+          ~static_dead mg
+          ~outputs:[ "aqsnow"; "cloud" ]
+          ~detect
+      in
+      let a = run `List and b = run `Masked in
+      Alcotest.(check (list int))
+        (label ^ ": slice nodes")
+        a.Rca_core.Pipeline.slice.Rca_core.Slice.nodes
+        b.Rca_core.Pipeline.slice.Rca_core.Slice.nodes;
+      Alcotest.(check (list int))
+        (label ^ ": slice targets")
+        a.Rca_core.Pipeline.slice.Rca_core.Slice.targets
+        b.Rca_core.Pipeline.slice.Rca_core.Slice.targets;
+      check_bool (label ^ ": full refine result identical") true
+        (a.Rca_core.Pipeline.result = b.Rca_core.Pipeline.result);
+      Alcotest.(check (list int))
+        (label ^ ": located bugs")
+        (Rca_core.Pipeline.located_bugs mg a ~bug_nodes)
+        (Rca_core.Pipeline.located_bugs mg b ~bug_nodes))
+    [
+      ("never", [], []);
+      ("reachability", [ 0 ], []);
+      ("static-dead", [ 0 ], dead);
+    ]
+
+(* --- masked engine = list engine -------------------------------------------------- *)
+
+module MG = Rca_metagraph.Metagraph
+
+(* A synthetic metagraph over a random digraph: enough metadata for
+   Refine (module names, non-synthetic nodes) and for canonical-name
+   slicing ("v<i>"), with none of the Fortran front end involved. *)
+let synthetic_mg g =
+  let n = Digraph.n g in
+  let node_meta =
+    Array.init n (fun i ->
+        {
+          MG.canonical = Printf.sprintf "v%d" i;
+          unique = Printf.sprintf "v%d__m" i;
+          module_ = (if i mod 3 = 0 then "phys" else "core");
+          subprogram = "s";
+          line = i;
+          synthetic = false;
+        })
+  in
+  let by_canonical = Hashtbl.create (max 1 n) in
+  Array.iteri (fun i nd -> Hashtbl.replace by_canonical nd.MG.canonical [ i ]) node_meta;
+  {
+    MG.graph = g;
+    node_meta;
+    by_key = Hashtbl.create 1;
+    by_canonical;
+    io_map = Hashtbl.create 1;
+    edge_origins = Hashtbl.create 1;
+    stats =
+      {
+        MG.assignments_total = 0;
+        parsed_primary = 0;
+        parsed_relaxed = 0;
+        parsed_scraped = 0;
+        unhandled = 0;
+      };
+  }
+
+(* Full-result equality between the engines: iteration sequences
+   (nodes, edges, communities, sampling, detections), final node set and
+   outcome — across random graphs, detectors, domain counts and exact vs
+   sampled G-N.  This is the differential oracle for the masked engine. *)
+let prop_refine_engines_identical =
+  QCheck2.Test.make ~name:"masked refine = list refine (full result)" ~count:20
+    graph_gen (fun g ->
+      let mg = synthetic_mg g in
+      let initial = List.init (Digraph.n g) Fun.id in
+      let detectors =
+        [
+          Rca_core.Detector.never;
+          Rca_core.Detector.of_differing_set
+            (List.filter (fun v -> v mod 5 = 0) initial);
+        ]
+      in
+      List.for_all
+        (fun detect ->
+          List.for_all
+            (fun domains ->
+              let run engine =
+                Rca_core.Refine.refine ~engine ?domains mg ~initial ~detect
+                  ~stop_size:2 ~max_iterations:4
+              in
+              run `List = run `Masked)
+            [ None; Some 2 ])
+        detectors)
+
+let prop_refine_engines_identical_approx =
+  QCheck2.Test.make ~name:"masked refine = list refine (sampled G-N)" ~count:15
+    graph_gen (fun g ->
+      let mg = synthetic_mg g in
+      let initial = List.init (Digraph.n g) Fun.id in
+      let run engine =
+        Rca_core.Refine.refine ~engine ~gn_approx:8 ~domains:2 mg ~initial
+          ~detect:Rca_core.Detector.never ~stop_size:2 ~max_iterations:3
+      in
+      run `List = run `Masked)
+
+(* Slicing on canonical names over the synthetic metagraph: both engines,
+   with module restriction, exclusions and cluster dropping in play; and
+   [contains] must agree with list membership (the node_set lockdown). *)
+let prop_slice_engines_identical =
+  QCheck2.Test.make ~name:"masked slice = list slice (+ contains lockdown)" ~count:30
+    graph_gen (fun g ->
+      let mg = synthetic_mg g in
+      let n = Digraph.n g in
+      let internals = [ "v0"; Printf.sprintf "v%d" (n - 1) ] in
+      let exclude = List.filter (fun v -> v mod 7 = 3) (List.init n Fun.id) in
+      let run engine =
+        Rca_core.Slice.of_internals
+          ~keep_module:(fun m -> m <> "phys")
+          ~min_cluster:2 ~engine ~exclude mg internals
+      in
+      let a = run `List and b = run `Masked in
+      a.Rca_core.Slice.nodes = b.Rca_core.Slice.nodes
+      && a.Rca_core.Slice.targets = b.Rca_core.Slice.targets
+      && List.for_all
+           (fun v ->
+             Rca_core.Slice.contains b v = List.mem v b.Rca_core.Slice.nodes
+             && Rca_core.Slice.contains a v = Rca_core.Slice.contains b v)
+           (List.init n Fun.id))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -275,6 +423,14 @@ let qcheck_cases =
       prop_girvan_newman_approx_differential;
       prop_eigenvector_differential;
       prop_parallel_bitwise_deterministic;
+    ]
+
+let engine_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_refine_engines_identical;
+      prop_refine_engines_identical_approx;
+      prop_slice_engines_identical;
     ]
 
 let () =
@@ -310,4 +466,8 @@ let () =
             refine_domains_matches_sequential_approx;
           Alcotest.test_case "domains:4 deterministic" `Quick refine_domains_deterministic;
         ] );
+      ( "engine",
+        Alcotest.test_case "pipeline masked = list (incl. located bugs)" `Quick
+          pipeline_engines_identical
+        :: engine_qcheck_cases );
     ]
