@@ -750,6 +750,46 @@ let run_lint_bench ~json () =
     exit 1
   end
 
+(* --- fault-injection campaign ---------------------------------------------------------- *)
+
+(* Run the tiny-scale fault campaign twice with one seed and require the
+   two scorecards to be byte-identical — the determinism regression the
+   corpus's single SplitMix seed promises — then write the scorecard
+   artifact (CAMPAIGN_scorecard.json, or the --json path). *)
+let run_campaign_bench ~json ~trace ~domains () =
+  hr ();
+  let module Campaign = Rca_faults.Campaign in
+  if trace <> None then Rca_obs.Obs.enable ();
+  time "campaign" (fun () ->
+      let params =
+        { (Campaign.default_params Rca_synth.Config.tiny) with Campaign.domains }
+      in
+      let timeit f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let c1, t1 = timeit (fun () -> Campaign.run params) in
+      let c2, t2 = timeit (fun () -> Campaign.run params) in
+      let s1 = Campaign.scorecard_json c1 and s2 = Campaign.scorecard_json c2 in
+      Format.printf "%a" Campaign.pp c1;
+      Printf.printf "  run 1  %8.3f s\n  run 2  %8.3f s\n" t1 t2;
+      Printf.printf "  scorecards byte-identical: %b\n%!" (s1 = s2);
+      let path = Option.value ~default:"CAMPAIGN_scorecard.json" json in
+      let oc = open_out path in
+      output_string oc s1;
+      close_out oc;
+      Printf.printf "  scorecard written to %s\n%!" path;
+      (match trace with
+      | None -> ()
+      | Some path ->
+          Rca_obs.Obs.write_chrome_trace path;
+          Printf.printf "  chrome trace written to %s\n%!" path);
+      if s1 <> s2 then begin
+        Printf.eprintf "campaign bench: same-seed scorecards differ\n";
+        exit 1
+      end)
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -776,6 +816,7 @@ let run_target ~json ~trace ~domains = function
   | "pipeline" -> run_pipeline_bench ~json ~trace ~domains ()
   | "refine" -> run_refine_bench ~json ~trace ~domains ()
   | "lint" -> run_lint_bench ~json ()
+  | "campaign" -> run_campaign_bench ~json ~trace ~domains ()
   | name -> (
       match List.assoc_opt name all_experiments with
       | Some spec -> run_experiment spec

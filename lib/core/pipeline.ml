@@ -22,8 +22,8 @@ type t = {
    materializing path runs (pruned metagraph copy, induced-subgraph
    rebuilds) — kept as the differential reference for `bench refine`. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
-    ?gn_approx ?domains ?(static_dead = []) ?(engine = (`Masked : Refine.engine))
-    (mg : MG.t) ~outputs ~detect : t =
+    ?gn_approx ?choose_when_stuck ?domains ?(static_dead = [])
+    ?(engine = (`Masked : Refine.engine)) (mg : MG.t) ~outputs ~detect : t =
   Rca_obs.Obs.span' "pipeline.run"
     (fun t ->
       [
@@ -93,8 +93,9 @@ let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations
           outputs
   in
   let result =
-    Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx ?domains
-      ~engine ?frozen mg_for_run ~initial:slice.Slice.nodes ~detect
+    Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx
+      ?choose_when_stuck ?domains ~engine ?frozen mg_for_run ~initial:slice.Slice.nodes
+      ~detect
   in
   { slice; result }
 

@@ -17,6 +17,7 @@ val run :
   ?max_iterations:int ->
   ?stop_size:int ->
   ?gn_approx:int ->
+  ?choose_when_stuck:(int list -> int list -> int option) ->
   ?domains:int ->
   ?static_dead:int list ->
   ?engine:Refine.engine ->
@@ -27,7 +28,10 @@ val run :
 (** Slice the metagraph on the affected outputs and refine with the given
     detector.  Defaults follow the paper: residual clusters under 4 nodes
     dropped, 10 samples per community, one G-N split per iteration.
-    [domains] (default 1) parallelizes the refinement's community and
+    [choose_when_stuck] (default none) is handed to {!Refine.refine} as
+    the Section 6.3 narrowing fallback for non-refining 8b iterations —
+    {!Refine.smallest_ancestry} partially applied to the metagraph is
+    the usual choice.  [domains] (default 1) parallelizes the refinement's community and
     centrality hot paths over a domain pool without changing results.
     [static_dead] (default none) names metagraph nodes the static
     analyzer proved dead; their incident edges are pruned before slicing.

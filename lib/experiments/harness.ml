@@ -66,6 +66,35 @@ type report = {
 
 let iteration_count r = List.length r.pipeline.Rca_core.Pipeline.result.Rca_core.Refine.iterations
 
+(* The affected-variable choice, shared with the fault campaign.  The
+   paper recommends the direct/median comparison first: when it "clearly
+   indicates" a variable (WSUBBUG's wsub scored >1000x the runner-up),
+   use the dominant group; otherwise fall back to the lasso, capped at
+   the tuning target ("about five variables"). *)
+let choose_affected ~median_selected ~lasso_selected ~selection_target =
+  match median_selected with
+  | [ only ] -> [ only.Rca_stats.Select.name ]
+  | top :: _ :: _
+    when List.length
+           (List.filter
+              (fun v -> v.Rca_stats.Select.score > top.Rca_stats.Select.score /. 1000.0)
+              median_selected)
+         <= 2
+         && (List.nth median_selected 1).Rca_stats.Select.score
+            < top.Rca_stats.Select.score /. 1000.0 ->
+      List.filter_map
+        (fun v ->
+          if v.Rca_stats.Select.score > top.Rca_stats.Select.score /. 1000.0 then
+            Some v.Rca_stats.Select.name
+          else None)
+        median_selected
+  | _ ->
+      let lasso_names =
+        Rca_stats.Select.names_of (Rca_stats.Select.take selection_target lasso_selected)
+      in
+      if lasso_names <> [] then lasso_names
+      else Rca_stats.Select.names_of (Rca_stats.Select.take selection_target median_selected)
+
 let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
   let fixture = Fixture.make ~inject:spec.inject p.config in
   (* 1. detect the discrepancy *)
@@ -87,35 +116,8 @@ let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
     Rca_stats.Select.lasso ~target:spec.selection_target ~names ~ensemble ~experimental ()
   in
   let affected_outputs =
-    (* The paper recommends the direct/median comparison first: when it
-       "clearly indicates" a variable (WSUBBUG's wsub scored >1000x the
-       runner-up), use the dominant group; otherwise fall back to the
-       lasso, capped at the tuning target ("about five variables"). *)
-    match median_selected with
-    | [ only ] -> [ only.Rca_stats.Select.name ]
-    | top :: _ :: _
-      when List.length
-             (List.filter
-                (fun v -> v.Rca_stats.Select.score > top.Rca_stats.Select.score /. 1000.0)
-                median_selected)
-           <= 2
-           && (List.nth median_selected 1).Rca_stats.Select.score
-              < top.Rca_stats.Select.score /. 1000.0 ->
-        List.filter_map
-          (fun v ->
-            if v.Rca_stats.Select.score > top.Rca_stats.Select.score /. 1000.0 then
-              Some v.Rca_stats.Select.name
-            else None)
-          median_selected
-    | _ ->
-        let lasso_names =
-          Rca_stats.Select.names_of
-            (Rca_stats.Select.take spec.selection_target lasso_selected)
-        in
-        if lasso_names <> [] then lasso_names
-        else
-          Rca_stats.Select.names_of
-            (Rca_stats.Select.take spec.selection_target median_selected)
+    choose_affected ~median_selected ~lasso_selected
+      ~selection_target:spec.selection_target
   in
   (* 3. slice + refine with simulated sampling *)
   let bug_nodes = Fixture.bug_nodes fixture ~canonicals:spec.bug_canonicals in

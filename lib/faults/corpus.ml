@@ -1,0 +1,750 @@
+(* Fault-corpus generation: mine injection sites from the clean model and
+   turn each into a {!Fault.t} with ground truth.
+
+   Sites are discovered from the build's own artifacts rather than
+   hard-coded lists — the AST for loop bounds, array reads, parameter
+   declarations and intent(in) formals; the lib/analysis dataflow facts
+   for multiply-defined variables (stale-value reuse); the FMA shapes the
+   interpreter contracts for the per-module FMA family.  Discovery is
+   fully deterministic, and the only randomness (capping an over-full
+   family, shuffling the campaign order) is drawn from one SplitMix64
+   stream seeded by [params.seed], so a corpus is a pure function of
+   (config, seed, params). *)
+
+open Rca_synth
+open Rca_fortran
+open Rca_experiments
+module MG = Rca_metagraph.Metagraph
+
+type params = {
+  config : Config.t;
+  seed : int;  (* SplitMix64 seed for capping and ordering *)
+  max_per_family : int;
+  families : Fault.family list;  (* mined in Fault.all_families order *)
+}
+
+let default_params config =
+  { config; seed = 0x5eed; max_per_family = 6; families = Fault.all_families }
+
+type t = {
+  params : params;
+  fixture : Fixture.t;  (* the clean fixture the campaign reuses *)
+  analysis : Rca_analysis.Analysis.t;  (* over the covered program *)
+  faults : Fault.t list;  (* capped and shuffled *)
+  mined : (Fault.family * int) list;  (* sites found before capping *)
+}
+
+(* ---- textual helpers ----------------------------------------------------------- *)
+
+let line_text (srcs : Model.sources) ~file ~line =
+  match List.assoc_opt file srcs.Model.files with
+  | None -> None
+  | Some src -> List.nth_opt (String.split_on_char '\n' src) (line - 1)
+
+let find_sub_string s ~pattern =
+  let n = String.length s and p = String.length pattern in
+  let rec go i = if i + p > n then None else if String.sub s i p = pattern then Some i else go (i + 1) in
+  if p = 0 then None else go 0
+
+let contains s ~pattern = find_sub_string s ~pattern <> None
+
+(* Replace the first occurrence of [from_] in [s]; [None] when absent. *)
+let replace_first s ~from_ ~to_ =
+  match find_sub_string s ~pattern:from_ with
+  | None -> None
+  | Some i ->
+      Some
+        (String.sub s 0 i ^ to_
+        ^ String.sub s (i + String.length from_) (String.length s - i - String.length from_))
+
+let leading_blanks s =
+  let n = String.length s in
+  let rec go i = if i < n && s.[i] = ' ' then go (i + 1) else i in
+  String.sub s 0 (go 0)
+
+let sanitize_id s = String.map (fun c -> if c = '%' then '.' else c) s
+
+(* The per-statement expressions of one statement node (conditions, loop
+   bounds, call arguments, assignment sides); nested bodies are reached
+   through [Ast.iter_stmts], not here. *)
+let stmt_exprs (st : Ast.stmt) : Ast.expr list =
+  match st.Ast.node with
+  | Ast.Assign (d, e) -> [ Ast.Edesig d; e ]
+  | Ast.Call (_, args) -> args
+  | Ast.If (branches, _) -> List.map fst branches
+  | Ast.Do { lo; hi; step; _ } -> lo :: hi :: Option.to_list step
+  | Ast.Do_while (c, _) -> [ c ]
+  | Ast.Select (sel, cases, _) -> sel :: List.concat_map fst cases
+  | Ast.Print args -> args
+  | Ast.Return | Ast.Exit_loop | Ast.Cycle | Ast.Stop | Ast.Unparsed _ -> []
+
+let body_uses_ident name body =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun st ->
+      if not !found then
+        List.iter
+          (fun e -> if List.mem name (Ast.expr_identifiers e) then found := true)
+          (stmt_exprs st))
+    body;
+  !found
+
+let declared_locally (sub : Ast.subprogram) name =
+  List.exists (fun d -> d.Ast.d_name = name) sub.Ast.s_decls
+  || List.mem name sub.Ast.s_args
+  || name = Ast.function_result_name sub
+
+(* ---- family: off-by-one loop bound --------------------------------------------- *)
+
+(* Every filler parameterization iterates `do k = 1, pver`; shifting the
+   lower bound to 2 skips the first vertical level of the whole
+   tendency.  Ground truth: the loop's own definitions — the module's
+   work locals and its diag array. *)
+let off_by_one_faults (fx : Fixture.t) : Fault.t list =
+  let srcs = fx.Fixture.clean_sources in
+  let fillers =
+    srcs.Model.filler.Filler.phys_modules @ srcs.Model.filler.Filler.dyn_modules
+  in
+  List.filter_map
+    (fun m ->
+      let file = m ^ ".F90" and tend = m ^ "_tend" in
+      match Ast.find_module fx.Fixture.clean_program m with
+      | None -> None
+      | Some mu -> (
+          match Ast.find_subprogram mu tend with
+          | None -> None
+          | Some sub -> (
+              let loop =
+                List.find_opt
+                  (fun st ->
+                    match st.Ast.node with Ast.Do { var = "k"; _ } -> true | _ -> false)
+                  sub.Ast.s_body
+              in
+              match loop with
+              | None -> None
+              | Some st -> (
+                  match line_text srcs ~file ~line:st.Ast.line with
+                  | Some l when contains l ~pattern:"do k = 1, pver" ->
+                      let body =
+                        match st.Ast.node with Ast.Do { body; _ } -> body | _ -> []
+                      in
+                      let expected =
+                        List.filter_map
+                          (fun bs ->
+                            match bs.Ast.node with
+                            | Ast.Assign (d, _) ->
+                                let base = Ast.designator_base d in
+                                if declared_locally sub base then
+                                  Some
+                                    { Fault.t_module = m; t_sub = Some tend; t_name = base }
+                                else if base = m ^ "_diag" then
+                                  Some { Fault.t_module = m; t_sub = Some ""; t_name = base }
+                                else None
+                            | _ -> None)
+                          body
+                        |> List.sort_uniq compare
+                      in
+                      if expected = [] then None
+                      else
+                        Some
+                          {
+                            Fault.id = "off_by_one/" ^ m;
+                            family = Fault.Off_by_one;
+                            description =
+                              Printf.sprintf
+                                "%s_tend: vertical loop starts at level 2 (first level \
+                                 never updated)"
+                                m;
+                            file;
+                            line = st.Ast.line;
+                            inject =
+                              Model.inject_line ~file ~line:st.Ast.line ~f:(fun l ->
+                                  match
+                                    replace_first l ~from_:"do k = 1, pver"
+                                      ~to_:"do k = 2, pver"
+                                  with
+                                  | Some l' -> l'
+                                  | None -> l);
+                            opts = Fun.id;
+                            expected;
+                          }
+                  | _ -> None))))
+    fillers
+
+(* ---- family: transposed array indices ------------------------------------------- *)
+
+(* Find `state%<name>(<d>, k)` with d in {1, 2} in one source line and
+   produce the transposed replacement `state%<name>(k, <d>)`.  Both
+   orders stay in bounds at every scale (pver <= pcols), so the fault is
+   a silent wrong-value read, never a crash. *)
+let transposed_read line =
+  let n = String.length line in
+  let ident_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' in
+  let rec go i =
+    if i >= n then None
+    else if i + 6 <= n && String.sub line i 6 = "state%" then begin
+      let j = ref (i + 6) in
+      while !j < n && ident_char line.[!j] do incr j done;
+      let name = String.sub line (i + 6) (!j - i - 6) in
+      let attempt d =
+        let pat = Printf.sprintf "state%%%s(%d, k)" name d in
+        if i + String.length pat <= n && String.sub line i (String.length pat) = pat then
+          Some (pat, Printf.sprintf "state%%%s(k, %d)" name d)
+        else None
+      in
+      match attempt 1 with
+      | Some r -> Some r
+      | None -> ( match attempt 2 with Some r -> Some r | None -> go (i + 1))
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let transposed_faults (fx : Fixture.t) : Fault.t list =
+  let srcs = fx.Fixture.clean_sources in
+  let fillers =
+    srcs.Model.filler.Filler.phys_modules @ srcs.Model.filler.Filler.dyn_modules
+  in
+  List.filter_map
+    (fun m ->
+      let file = m ^ ".F90" and tend = m ^ "_tend" in
+      match Ast.find_module fx.Fixture.clean_program m with
+      | None -> None
+      | Some mu -> (
+          match Ast.find_subprogram mu tend with
+          | None -> None
+          | Some sub ->
+              (* every loop-body assignment whose line has a transposable
+                 state read: the systematic misuse (a routine written
+                 against the wrong index convention), not a single slip *)
+              let sites = ref [] in
+              Ast.iter_stmts
+                (fun st ->
+                  match st.Ast.node with
+                  | Ast.Assign (d, _) -> (
+                      match line_text srcs ~file ~line:st.Ast.line with
+                      | Some l -> (
+                          match transposed_read l with
+                          | Some (from_, to_) ->
+                              sites :=
+                                (st.Ast.line, Ast.designator_base d, from_, to_) :: !sites
+                          | None -> ())
+                      | None -> ())
+                  | _ -> ())
+                sub.Ast.s_body;
+              match List.rev !sites with
+              | [] -> None
+              | ((line0, _, from0, _) :: _ as sites) ->
+                  let inject s =
+                    List.fold_left
+                      (fun s (line, _, from_, to_) ->
+                        Model.inject_line ~file ~line
+                          ~f:(fun l ->
+                            match replace_first l ~from_ ~to_ with
+                            | Some l' -> l'
+                            | None -> l)
+                          s)
+                      s sites
+                  in
+                  let expected =
+                    List.sort_uniq compare
+                      (List.map
+                         (fun (_, lhs, _, _) ->
+                           if declared_locally sub lhs then
+                             { Fault.t_module = m; t_sub = Some tend; t_name = lhs }
+                           else { Fault.t_module = m; t_sub = Some ""; t_name = lhs })
+                         sites)
+                  in
+                  Some
+                    {
+                      Fault.id = "transposed_index/" ^ m;
+                      family = Fault.Transposed_index;
+                      description =
+                        Printf.sprintf "%s_tend: %d state reads transposed (first %s at line %d)"
+                          m (List.length sites) from0 line0;
+                      file;
+                      line = line0;
+                      inject;
+                      opts = Fun.id;
+                      expected;
+                    }))
+    fillers
+
+(* ---- family: coefficient typo ---------------------------------------------------- *)
+
+(* Scale a tendency-accumulation coefficient by ten — the GOFFGRATCH shape
+   (wrong constant; here an exponent typo, 1.0e-5 -> 1.0e-4), but mined
+   instead of hand-picked.  The site sits downstream of the filler's
+   saturated tanh, so unlike perturbations of the chain parameters the
+   wrong value actually reaches the model outputs.  Ground truth: the
+   accumulator the faulty statement writes (phys_acc / dyn_acc) — a
+   shared node, which is exactly the localization granularity the
+   variable-level metagraph offers for a shared accumulator. *)
+let coeff_faults (fx : Fixture.t) : Fault.t list =
+  let srcs = fx.Fixture.clean_sources in
+  let fillers =
+    srcs.Model.filler.Filler.phys_modules @ srcs.Model.filler.Filler.dyn_modules
+  in
+  let old_lit = "1.0e-5_r8" and new_lit = "1.0e-4_r8" in
+  List.filter_map
+    (fun m ->
+      let file = m ^ ".F90" and tend = m ^ "_tend" in
+      match Ast.find_module fx.Fixture.clean_program m with
+      | None -> None
+      | Some mu -> (
+          match Ast.find_subprogram mu tend with
+          | None -> None
+          | Some sub ->
+              (* the accumulation statement: `<acc>(k) = <acc>(k) +
+                 <m>_diag(k) * 1.0e-5_r8` *)
+              let site = ref None in
+              Ast.iter_stmts
+                (fun st ->
+                  if !site = None then
+                    match st.Ast.node with
+                    | Ast.Assign (d, _) -> (
+                        match line_text srcs ~file ~line:st.Ast.line with
+                        | Some l
+                          when contains l ~pattern:old_lit
+                               && contains l ~pattern:(m ^ "_diag(k)") ->
+                            site := Some (st.Ast.line, Ast.designator_base d)
+                        | _ -> ())
+                    | _ -> ())
+                sub.Ast.s_body;
+              Option.map
+                (fun (line, acc) ->
+                  {
+                    Fault.id = "coeff/" ^ m;
+                    family = Fault.Coeff;
+                    description =
+                      Printf.sprintf
+                        "%s_tend:%d: accumulation coefficient %s mistyped as %s" m line
+                        old_lit new_lit;
+                    file;
+                    line;
+                    inject =
+                      Model.inject_line ~file ~line ~f:(fun l ->
+                          match replace_first l ~from_:old_lit ~to_:new_lit with
+                          | Some l' -> l'
+                          | None -> l);
+                    opts = Fun.id;
+                    expected = [ { Fault.t_module = ""; t_sub = None; t_name = acc } ];
+                  })
+                !site))
+    fillers
+
+(* ---- family: stale-value reuse (lint-guided) ------------------------------------ *)
+
+(* Sites come from the lib/analysis dataflow facts: a real-typed variable
+   with at least two assignment definitions on distinct lines, still used
+   (or escaping) after the second.  Deleting the second definition makes
+   every later read observe the first, stale value — exactly the defect
+   class the reaching-definitions lint reasons about.  Only the second
+   definition is dropped, so the first always runs: the fault can never
+   introduce a use-before-def crash. *)
+(* Lines of assignments that execute unconditionally whenever the
+   subprogram runs: top-level statements and counted-loop bodies (the
+   generated loops always trip), but nothing under If / Select /
+   Do_while.  Restricting both the surviving and the deleted definition
+   to these lines keeps the fault deterministic — the stale value is
+   always the first definition's, never an uninitialized read. *)
+let unconditional_assign_lines (sub : Ast.subprogram) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  let rec walk stmts =
+    List.iter
+      (fun (st : Ast.stmt) ->
+        match st.Ast.node with
+        | Ast.Assign _ -> Hashtbl.replace tbl st.Ast.line ()
+        | Ast.Do { body; _ } -> walk body
+        | _ -> ())
+      stmts
+  in
+  walk sub.Ast.s_body;
+  tbl
+
+(* Does [line] mention [name] as a whole identifier anywhere after the
+   assignment's `=`?  A definition like `x = x * ratio` is
+   self-referential: deleting it is inert whenever the scale factor is
+   neutral (the conservation-limiter pattern), so such sites make poor
+   stale-value faults.  The one self-referential shape we keep is the
+   additive accumulation `x = x + term` ({!additive_self_update}):
+   deleting it deterministically pins [x] at its earlier value. *)
+let self_referential line ~name =
+  match String.index_opt line '=' with
+  | None -> false
+  | Some eq ->
+      let rhs = String.sub line (eq + 1) (String.length line - eq - 1) in
+      let n = String.length rhs and fl = String.length name in
+      let ident_char c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      in
+      let rec scan i =
+        if i + fl > n then false
+        else if
+          String.sub rhs i fl = name
+          && (i = 0 || not (ident_char rhs.[i - 1]))
+          && (i + fl = n || not (ident_char rhs.[i + fl]))
+        then true
+        else scan (i + 1)
+      in
+      scan 0
+
+(* `x = x + term` / `x(i, k) = x(i, k) + term`: the right-hand side is the
+   variable itself (with an optional balanced subscript) followed by `+`. *)
+let additive_self_update line ~name =
+  match String.index_opt line '=' with
+  | None -> false
+  | Some eq ->
+      let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+      let n = String.length rhs and fl = String.length name in
+      if n < fl || String.sub rhs 0 fl <> name then false
+      else begin
+        let i = ref fl in
+        if !i < n && rhs.[!i] = '(' then begin
+          let depth = ref 0 in
+          let continue_ = ref true in
+          while !continue_ && !i < n do
+            (match rhs.[!i] with
+            | '(' -> incr depth
+            | ')' -> decr depth
+            | _ -> ());
+            incr i;
+            if !depth = 0 then continue_ := false
+          done
+        end;
+        while !i < n && rhs.[!i] = ' ' do incr i done;
+        !i < n && rhs.[!i] = '+'
+      end
+
+let stale_faults (fx : Fixture.t) (an : Rca_analysis.Analysis.t) : Fault.t list =
+  let srcs = fx.Fixture.clean_sources in
+  let module A = Rca_analysis.Analysis in
+  let module Defuse = Rca_analysis.Defuse in
+  let module Scope = Rca_analysis.Scope in
+  List.concat_map
+    (fun (sa : A.sub_analysis) ->
+      let file = sa.A.sa_module ^ ".F90" in
+      if not (List.mem_assoc file srcs.Model.files) then []
+      else begin
+        let facts = sa.A.sa_flow.Rca_analysis.Dataflow.facts in
+        let def_lines : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+        let use_lines : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+        let push tbl id line =
+          match Hashtbl.find_opt tbl id with
+          | Some r -> r := line :: !r
+          | None -> Hashtbl.add tbl id (ref [ line ])
+        in
+        Array.iter
+          (Array.iter (fun (f : Defuse.fact) ->
+               List.iter
+                 (fun (d : Defuse.def_site) ->
+                   if d.Defuse.d_origin = Defuse.From_assign then
+                     push def_lines d.Defuse.d_var.Scope.v_id d.Defuse.d_line)
+                 f.Defuse.defs;
+               List.iter
+                 (fun (u : Defuse.use_site) ->
+                   push use_lines u.Defuse.u_var.Scope.v_id u.Defuse.u_line)
+                 f.Defuse.uses))
+          facts;
+        let real_typed (v : Scope.var) =
+          match v.Scope.v_kind with
+          | Scope.Member _ -> true  (* generated derived-type members are real *)
+          | Scope.Formal _ | Scope.Local _ | Scope.Result ->
+              List.exists
+                (fun d -> d.Ast.d_name = v.Scope.v_name && d.Ast.d_type = Ast.Treal)
+                sa.A.sa_scope.Scope.ss_sub.Ast.s_decls
+              || v.Scope.v_kind = Scope.Result
+          | Scope.Module_var _ | Scope.Implicit -> false
+        in
+        let uncond = unconditional_assign_lines sa.A.sa_scope.Scope.ss_sub in
+        List.filter_map
+          (fun (v : Scope.var) ->
+            if not (real_typed v) then None
+            else
+              match Hashtbl.find_opt def_lines v.Scope.v_id with
+              | None -> None
+              | Some lines -> (
+                  match List.sort_uniq compare !lines with
+                  | first :: second :: _ ->
+                      let live_after =
+                        Scope.escapes v
+                        ||
+                        match Hashtbl.find_opt use_lines v.Scope.v_id with
+                        | Some us -> List.exists (fun u -> u > second) !us
+                        | None -> false
+                      in
+                      let line_ok =
+                        match line_text srcs ~file ~line:second with
+                        | Some l ->
+                            let t = String.trim l in
+                            String.length t > String.length v.Scope.v_name
+                            && String.sub t 0 (String.length v.Scope.v_name)
+                               = v.Scope.v_name
+                            && contains t ~pattern:"="
+                            (* a fresh overwrite or an additive accumulation,
+                               not `v = v * ratio` — the inert
+                               conservation-limiter shape *)
+                            && (not (self_referential t ~name:v.Scope.v_name)
+                               || additive_self_update t ~name:v.Scope.v_name)
+                        | None -> false
+                      in
+                      let straight_line =
+                        Hashtbl.mem uncond first && Hashtbl.mem uncond second
+                      in
+                      if not (live_after && line_ok && straight_line) then None
+                      else
+                        let tm, ts, tn = Scope.metagraph_key sa.A.sa_scope v in
+                        Some
+                          {
+                            Fault.id =
+                              Printf.sprintf "stale_value/%s.%s.%s" sa.A.sa_module
+                                sa.A.sa_name
+                                (sanitize_id v.Scope.v_name);
+                            family = Fault.Stale_value;
+                            description =
+                              Printf.sprintf
+                                "%s/%s: second definition of %s deleted (line %d); \
+                                 earlier value reused"
+                                sa.A.sa_module sa.A.sa_name v.Scope.v_name second;
+                            file;
+                            line = second;
+                            inject =
+                              Model.inject_line ~file ~line:second ~f:(fun l -> "!" ^ l);
+                            opts = Fun.id;
+                            expected = [ { Fault.t_module = tm; t_sub = Some ts; t_name = tn } ];
+                          }
+                  | _ -> None))
+          (Scope.vars sa.A.sa_scope)
+      end)
+    an.Rca_analysis.Analysis.subs
+
+(* ---- family: dropped intent(in) guard ------------------------------------------- *)
+
+(* Flip a scalar real intent(in) formal to intent(inout) and perturb it in
+   place before the first statement — the guard that made the argument
+   read-only is gone and the subprogram now corrupts its own input.
+   Ground truth: the formal's node (the inserted write's target). *)
+let intent_faults (fx : Fixture.t) : Fault.t list =
+  let srcs = fx.Fixture.clean_sources in
+  List.concat_map
+    (fun (mu : Ast.module_unit) ->
+      let file = mu.Ast.m_name ^ ".F90" in
+      if mu.Ast.m_name = "cam_driver" || not (List.mem_assoc file srcs.Model.files) then []
+      else
+        List.concat_map
+          (fun (sub : Ast.subprogram) ->
+            if sub.Ast.s_elemental || sub.Ast.s_body = [] then []
+            else
+              List.filter_map
+                (fun (d : Ast.decl) ->
+                  let eligible =
+                    d.Ast.d_intent = Some Ast.In
+                    && d.Ast.d_type = Ast.Treal
+                    && d.Ast.d_dims = []
+                    && List.mem d.Ast.d_name sub.Ast.s_args
+                    && body_uses_ident d.Ast.d_name sub.Ast.s_body
+                  in
+                  if not eligible then None
+                  else
+                    let first_line = (List.hd sub.Ast.s_body).Ast.line in
+                    let decl_ok =
+                      match line_text srcs ~file ~line:d.Ast.d_line with
+                      | Some l ->
+                          contains l ~pattern:"intent(in)" && contains l ~pattern:d.Ast.d_name
+                      | None -> false
+                    in
+                    if not decl_ok then None
+                    else
+                      Some
+                        {
+                          Fault.id =
+                            Printf.sprintf "intent_guard/%s.%s.%s" mu.Ast.m_name
+                              sub.Ast.s_name d.Ast.d_name;
+                          family = Fault.Intent_guard;
+                          description =
+                            Printf.sprintf
+                              "%s/%s: intent(in) dropped from %s, perturbed in place"
+                              mu.Ast.m_name sub.Ast.s_name d.Ast.d_name;
+                          file;
+                          line = d.Ast.d_line;
+                          inject =
+                            (fun s ->
+                              s
+                              |> Model.inject_line ~file ~line:d.Ast.d_line ~f:(fun l ->
+                                     match
+                                       replace_first l ~from_:"intent(in)"
+                                         ~to_:"intent(inout)"
+                                     with
+                                     | Some l' -> l'
+                                     | None -> l)
+                              |> Model.inject_line ~file ~line:first_line ~f:(fun l ->
+                                     Printf.sprintf "%s%s = %s * (1.0_r8 + 1.0e-7_r8)\n%s"
+                                       (leading_blanks l) d.Ast.d_name d.Ast.d_name l));
+                          opts = Fun.id;
+                          expected =
+                            [
+                              {
+                                Fault.t_module = mu.Ast.m_name;
+                                t_sub = Some sub.Ast.s_name;
+                                t_name = d.Ast.d_name;
+                              };
+                            ];
+                        })
+                sub.Ast.s_decls)
+          mu.Ast.m_subprograms)
+    fx.Fixture.covered_program
+
+(* ---- family: per-module FMA contraction ----------------------------------------- *)
+
+(* One fault per executed module containing an FMA-contractible
+   assignment shape (a*b+c, c+a*b, a*b-c — the shapes the interpreter
+   contracts): enable FMA in that module only, against an ensemble run
+   without it.  The AVX2 experiment generalized from one hand-picked
+   module to every module the AST says is eligible. *)
+let rec expr_has_fma (e : Ast.expr) =
+  match e with
+  | Ast.Ebin (Ast.Add, Ast.Ebin (Ast.Mul, _, _), _)
+  | Ast.Ebin (Ast.Add, _, Ast.Ebin (Ast.Mul, _, _))
+  | Ast.Ebin (Ast.Sub, Ast.Ebin (Ast.Mul, _, _), _) -> true
+  | Ast.Ebin (_, a, b) -> expr_has_fma a || expr_has_fma b
+  | Ast.Eun (_, a) -> expr_has_fma a
+  | Ast.Erange (a, b) ->
+      Option.fold ~none:false ~some:expr_has_fma a
+      || Option.fold ~none:false ~some:expr_has_fma b
+  | Ast.Edesig d -> desig_has_fma d
+  | Ast.Enum _ | Ast.Eint _ | Ast.Elogical _ | Ast.Estring _ -> false
+
+and desig_has_fma = function
+  | Ast.Dname _ -> false
+  | Ast.Dmember (b, _) -> desig_has_fma b
+  | Ast.Dindex (b, args) -> desig_has_fma b || List.exists expr_has_fma args
+
+let rec desig_has_member = function
+  | Ast.Dname _ -> false
+  | Ast.Dmember _ -> true
+  | Ast.Dindex (b, _) -> desig_has_member b
+
+let fma_faults (fx : Fixture.t) : Fault.t list =
+  let built = List.map (fun m -> m.Ast.m_name) fx.Fixture.clean_program in
+  List.filter_map
+    (fun (mu : Ast.module_unit) ->
+      let targets = ref [] in
+      List.iter
+        (fun (sub : Ast.subprogram) ->
+          Ast.iter_stmts
+            (fun st ->
+              match st.Ast.node with
+              | Ast.Assign (d, rhs) when expr_has_fma rhs ->
+                  let tgt =
+                    if desig_has_member d then
+                      {
+                        Fault.t_module = "";
+                        t_sub = None;
+                        t_name = Ast.designator_canonical d;
+                      }
+                    else
+                      let base = Ast.designator_base d in
+                      if declared_locally sub base then
+                        {
+                          Fault.t_module = mu.Ast.m_name;
+                          t_sub = Some sub.Ast.s_name;
+                          t_name = base;
+                        }
+                      else { Fault.t_module = ""; t_sub = None; t_name = base }
+                  in
+                  targets := tgt :: !targets
+              | _ -> ())
+            sub.Ast.s_body)
+        mu.Ast.m_subprograms;
+      match List.sort_uniq compare !targets with
+      | [] -> None
+      | expected ->
+          let others = List.filter (fun n -> n <> mu.Ast.m_name) built in
+          Some
+            {
+              Fault.id = "fma/" ^ mu.Ast.m_name;
+              family = Fault.Fma;
+              description =
+                Printf.sprintf "FMA contraction enabled in %s only (%d shaped statements)"
+                  mu.Ast.m_name (List.length expected);
+              file = "";
+              line = 0;
+              inject = Fun.id;
+              opts = (fun o -> { o with Model.fma = `On_except others });
+              expected;
+            })
+    fx.Fixture.covered_program
+
+(* ---- family: PRNG substitution --------------------------------------------------- *)
+
+(* The RAND-MT shape: swap the model's default KISS stream for another
+   lib/rng generator.  Ground truth (per the paper): the variables
+   immediately defined by the PRNG draws in the radiation McICA
+   generators. *)
+let prng_faults () : Fault.t list =
+  let expected =
+    [
+      { Fault.t_module = "rad_lw_mod"; t_sub = None; t_name = "rnd_lw" };
+      { Fault.t_module = "rad_lw_mod"; t_sub = None; t_name = "subcol_lw" };
+      { Fault.t_module = "rad_sw_mod"; t_sub = None; t_name = "rnd_sw" };
+      { Fault.t_module = "rad_sw_mod"; t_sub = None; t_name = "subcol_sw" };
+    ]
+  in
+  List.map
+    (fun (tag, make) ->
+      {
+        Fault.id = "prng/" ^ tag;
+        family = Fault.Prng;
+        description = Printf.sprintf "default PRNG replaced by %s" tag;
+        file = "";
+        line = 0;
+        inject = Fun.id;
+        opts = (fun o -> { o with Model.prng = make 8191 });
+        expected;
+      })
+    [ ("mt19937", Rca_rng.Mersenne.create); ("splitmix64", Rca_rng.Splitmix.create) ]
+
+(* ---- assembly -------------------------------------------------------------------- *)
+
+let mine (fx : Fixture.t) (an : Rca_analysis.Analysis.t) = function
+  | Fault.Fma -> fma_faults fx
+  | Fault.Prng -> prng_faults ()
+  | Fault.Off_by_one -> off_by_one_faults fx
+  | Fault.Transposed_index -> transposed_faults fx
+  | Fault.Intent_guard -> intent_faults fx
+  | Fault.Stale_value -> stale_faults fx an
+  | Fault.Coeff -> coeff_faults fx
+
+let generate (p : params) : t =
+  Rca_obs.Obs.span' "faults.corpus"
+    (fun t ->
+      [
+        ("faults", Rca_obs.Obs.Int (List.length t.faults));
+        ("families", Rca_obs.Obs.Int (List.length t.mined));
+      ])
+  @@ fun () ->
+  let fixture = Fixture.make p.config in
+  let analysis = Rca_analysis.Analysis.analyze fixture.Fixture.covered_program in
+  let rng = Rca_rng.Splitmix.create p.seed in
+  let families = List.filter (fun f -> List.mem f p.families) Fault.all_families in
+  let mined = List.map (fun fam -> (fam, mine fixture analysis fam)) families in
+  let capped =
+    List.concat_map
+      (fun (_, sites) ->
+        let arr = Array.of_list sites in
+        if Array.length arr <= p.max_per_family then sites
+        else
+          Rca_rng.Prng.sample rng ~n:(Array.length arr) ~k:p.max_per_family
+          |> Array.to_list |> List.sort compare
+          |> List.map (Array.get arr))
+      mined
+  in
+  let order = Array.of_list capped in
+  Rca_rng.Prng.shuffle rng order;
+  {
+    params = p;
+    fixture;
+    analysis;
+    faults = Array.to_list order;
+    mined = List.map (fun (fam, sites) -> (fam, List.length sites)) mined;
+  }

@@ -101,33 +101,117 @@ let generate (config : Config.t) : sources =
   { config; files; filler; driver_module = "cam_driver" }
 
 (* Apply a textual bug injection: replace [from_] with [to_] in the named
-   file.  Raises if the pattern is absent (the injection would silently do
-   nothing otherwise). *)
-let inject ~file ~from_ ~to_ (s : sources) : sources =
-  let found = ref false in
+   file.
+
+   Occurrence policy: when the caller does not pass [?occurrence] the
+   pattern must appear exactly once — an ambiguous pattern raises instead
+   of silently patching the first hit (the historical behavior, which let
+   a bug land on the wrong line without any signal).  [`First] and
+   [`Nth k] (1-based) select one occurrence explicitly; [`All] rewrites
+   every occurrence.  Occurrences are counted left to right without
+   overlap, the same scan the replacement uses.  Raises [Invalid_argument]
+   if the file is unknown, the pattern is absent, or [`Nth k] asks for
+   more occurrences than exist. *)
+let occurrences ~pattern src =
+  let flen = String.length pattern and slen = String.length src in
+  if flen = 0 then invalid_arg "Model.inject: empty pattern";
+  let rec scan i acc =
+    if i + flen > slen then List.rev acc
+    else if String.sub src i flen = pattern then scan (i + flen) (i :: acc)
+    else scan (i + 1) acc
+  in
+  scan 0 []
+
+let replace_at src ~pattern ~to_ positions =
+  let flen = String.length pattern in
+  let buf = Buffer.create (String.length src + 64) in
+  let last =
+    List.fold_left
+      (fun last i ->
+        Buffer.add_substring buf src last (i - last);
+        Buffer.add_string buf to_;
+        i + flen)
+      0 positions
+  in
+  Buffer.add_substring buf src last (String.length src - last);
+  Buffer.contents buf
+
+let inject ?occurrence ~file ~from_ ~to_ (s : sources) : sources =
+  if not (List.mem_assoc file s.files) then
+    invalid_arg (Printf.sprintf "Model.inject: no file %s in the source tree" file);
   let files =
     List.map
       (fun (name, src) ->
         if name <> file then (name, src)
         else begin
-          (* simple substring replace, first occurrence only *)
-          let flen = String.length from_ and slen = String.length src in
-          let rec find i =
-            if i + flen > slen then None
-            else if String.sub src i flen = from_ then Some i
-            else find (i + 1)
+          let occs = occurrences ~pattern:from_ src in
+          let n = List.length occs in
+          if n = 0 then
+            invalid_arg
+              (Printf.sprintf "Model.inject: pattern %S not found in %s" from_ file);
+          let chosen =
+            match occurrence with
+            | None ->
+                if n > 1 then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Model.inject: pattern %S is ambiguous in %s (%d occurrences); \
+                        pass ~occurrence"
+                       from_ file n);
+                occs
+            | Some `First -> [ List.hd occs ]
+            | Some (`Nth k) ->
+                if k < 1 || k > n then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Model.inject: occurrence %d of pattern %S requested but %s has %d"
+                       k from_ file n);
+                [ List.nth occs (k - 1) ]
+            | Some `All -> occs
           in
-          match find 0 with
-          | None -> (name, src)
-          | Some i ->
-              found := true;
-              ( name,
-                String.sub src 0 i ^ to_ ^ String.sub src (i + flen) (slen - i - flen) )
+          (name, replace_at src ~pattern:from_ ~to_ chosen)
         end)
       s.files
   in
-  if not !found then
-    invalid_arg (Printf.sprintf "Model.inject: pattern %S not found in %s" from_ file);
+  { s with files }
+
+(* Line-based injection: rewrite line [line] (1-based, as the parser
+   counts them) of [file] through [f], which receives the line without its
+   terminator.  Used by the fault-corpus generator, whose sites come from
+   AST/dataflow line numbers rather than unique substrings.  Raises if the
+   file or line does not exist, or if [f] returns the line unchanged (the
+   injection would be a silent no-op). *)
+let inject_line ~file ~line ~f (s : sources) : sources =
+  if not (List.mem_assoc file s.files) then
+    invalid_arg (Printf.sprintf "Model.inject_line: no file %s in the source tree" file);
+  let files =
+    List.map
+      (fun (name, src) ->
+        if name <> file then (name, src)
+        else begin
+          let lines = String.split_on_char '\n' src in
+          if line < 1 || line > List.length lines then
+            invalid_arg
+              (Printf.sprintf "Model.inject_line: %s has no line %d" file line);
+          let changed = ref false in
+          let lines =
+            List.mapi
+              (fun i l ->
+                if i + 1 = line then begin
+                  let l' = f l in
+                  if l' <> l then changed := true;
+                  l'
+                end
+                else l)
+              lines
+          in
+          if not !changed then
+            invalid_arg
+              (Printf.sprintf "Model.inject_line: no-op rewrite of %s:%d" file line);
+          (name, String.concat "\n" lines)
+        end)
+      s.files
+  in
   { s with files }
 
 let parse_program ?(strict = false) (s : sources) : Ast.program =
