@@ -6,11 +6,15 @@
 
    Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
             table1 table2 fig4 fig10 fig11 ablation micro micro-par gn
-            pipeline refine
+            pipeline refine scaling lint campaign
 
-   Flags: --json PATH     write the `gn`/`pipeline`/`refine` target's
-                          telemetry as JSON
+   Flags: --json PATH     write the `gn`/`pipeline`/`refine`/`scaling`
+                          target's telemetry as JSON
           --domains N     pool size for the parallel `gn` runs (default 4)
+          --detector NAME community detector for the `pipeline`/`refine`/
+                          `campaign` targets (gn|gn-adaptive|greedy|
+                          louvain|lp; parsed by the same helper as
+                          rca_main's --detector)
           --trace PATH    record the run under lib/obs and write a Chrome
                           trace-event JSON (`gn`, `pipeline` and `refine`
                           targets)
@@ -394,7 +398,7 @@ let run_gn_bench ?(trace = None) ~json ~domains () =
    spans/counters become BENCH_pipeline.json (plus a Chrome trace with
    --trace).  Exits non-zero on any difference, so CI fails loudly if
    tracing ever perturbs the pipeline. *)
-let run_pipeline_bench ~json ~trace ~domains () =
+let run_pipeline_bench ~json ~trace ~domains ~partitioner () =
   hr ();
   let outcome =
     time "pipeline" (fun () ->
@@ -406,7 +410,7 @@ let run_pipeline_bench ~json ~trace ~domains () =
         let detect = Rca_core.Detector.reachability fixture.Fixture.mg ~bug_nodes in
         let run () =
           Rca_core.Pipeline.run ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
-            ~gn_approx:128 ~stop_size:30 ~domains fixture.Fixture.mg
+            ~gn_approx:128 ~stop_size:30 ~partitioner ~domains fixture.Fixture.mg
             ~outputs:[ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ]
             ~detect
         in
@@ -488,7 +492,7 @@ let run_pipeline_bench ~json ~trace ~domains () =
    a traced run per engine extracts the per-iteration span timings the
    masked engine is meant to shrink.  Exits non-zero on any difference,
    so CI fails loudly if the engines ever diverge. *)
-let run_refine_bench ~json ~trace ~domains () =
+let run_refine_bench ~json ~trace ~domains ~partitioner () =
   hr ();
   let ok =
     time "refine" (fun () ->
@@ -501,7 +505,7 @@ let run_refine_bench ~json ~trace ~domains () =
         let detect = Rca_core.Detector.reachability mg ~bug_nodes in
         let run ~engine ~domains () =
           Rca_core.Pipeline.run ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
-            ~gn_approx:128 ~stop_size:30 ~domains ~engine mg
+            ~gn_approx:128 ~stop_size:30 ~partitioner ~domains ~engine mg
             ~outputs:[ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ]
             ~detect
         in
@@ -699,6 +703,248 @@ let run_refine_bench ~json ~trace ~domains () =
     exit 1
   end
 
+(* --- detector scaling trajectory (scaling) ---------------------------------------------- *)
+
+(* The Girvan–Newman wall, measured: partition the GOFFGRATCH slice at
+   small / paper / huge scale with each community detector (exact
+   incremental G-N, adaptive source-sampled G-N, modularity-greedy) and
+   record seconds + partition quality per (scale, detector); at small and
+   paper also run the end-to-end pipeline per detector and require
+   located_bugs to be identical — the oracle that gates the speedup.
+   Exact G-N is skipped at huge (that infeasibility is the point of the
+   fast detectors).  Also times the paper-scale pipeline at 1 vs
+   [domains] domains: with adaptive pool usage the parallel run must not
+   be slower than sequential.  Gates (exit nonzero on failure): greedy
+   >= 10x exact on the paper slice, identical located_bugs across
+   detectors, a modularity floor for greedy, parallel <= ~sequential.
+   Everything is written to BENCH_scaling.json (--json path). *)
+let run_scaling_bench ~json ~domains () =
+  hr ();
+  let ok =
+    time "scaling" (fun () ->
+        let module Q = G.Quality in
+        let module R = Rca_core.Refine in
+        let timeit f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let outputs = [ "cloud"; "cldtot"; "aqsnow"; "freqs"; "ccn3" ] in
+        let all_ok = ref true in
+        let gate name cond =
+          Printf.printf "  gate %-52s %s\n%!" name (if cond then "PASS" else "FAIL");
+          if not cond then all_ok := false
+        in
+        let gates = ref [] in
+        let checked name cond =
+          gates := (name, cond) :: !gates;
+          gate name cond
+        in
+        let scale_jsons = ref [] in
+        let paper_exact_t = ref nan in
+        let paper_greedy_t = ref nan in
+        let paper_greedy_q = ref nan in
+        let located_ok = ref true in
+        Printf.printf "detector scaling on the GOFFGRATCH slice (%d cores visible)\n%!"
+          (Domain.recommended_domain_count ());
+        List.iter
+          (fun (label, config, run_exact, run_pipelines) ->
+            let fixture =
+              Fixture.make ~inject:Experiments.goffgratch.Harness.inject config
+            in
+            let mg = fixture.Fixture.mg in
+            let bug_nodes =
+              Fixture.bug_nodes fixture
+                ~canonicals:Experiments.goffgratch.Harness.bug_canonicals
+            in
+            let detect = Rca_core.Detector.reachability mg ~bug_nodes in
+            let slice = goffgratch_slice fixture in
+            let sub = Rca_core.Slice.subgraph slice in
+            let sg = sub.G.Digraph.graph in
+            Printf.printf
+              "  %s: metagraph %d nodes / %d arcs, slice %d nodes / %d arcs\n%!" label
+              (MG.n_nodes mg) (G.Digraph.m mg.MG.graph) (G.Digraph.n sg) (G.Digraph.m sg);
+            (* one G-N split / one partition per detector, timed *)
+            let partition_rows = ref [] in
+            let record_partition name t (p : G.Community.partition) =
+              let q = Q.of_partition sg p in
+              partition_rows := (name, t, q) :: !partition_rows;
+              Printf.printf "    partition %-12s %9.3f s   %4d communities   Q %.4f\n%!"
+                name t q.Q.q_communities q.Q.q_modularity;
+              q
+            in
+            if run_exact then begin
+              let step, t = timeit (fun () -> G.Community.girvan_newman_step sg) in
+              ignore (record_partition "gn" t step.G.Community.partition);
+              if label = "paper" then paper_exact_t := t
+            end;
+            let astep, t_adaptive =
+              timeit (fun () ->
+                  G.Community.girvan_newman_step
+                    ~adaptive:G.Community.default_adaptive sg)
+            in
+            ignore (record_partition "gn-adaptive" t_adaptive astep.G.Community.partition);
+            let greedy_p, t_greedy = timeit (fun () -> G.Community.modularity_greedy sg) in
+            let greedy_q = record_partition "greedy" t_greedy greedy_p in
+            if label = "paper" then begin
+              paper_greedy_t := t_greedy;
+              paper_greedy_q := greedy_q.Q.q_modularity
+            end;
+            (* end-to-end oracle per detector *)
+            let pipeline_rows = ref [] in
+            if run_pipelines then begin
+              let located_sets =
+                List.map
+                  (fun det ->
+                    let name = R.partitioner_string det in
+                    let pl, t =
+                      timeit (fun () ->
+                          Rca_core.Pipeline.run
+                            ~keep_module:Rca_synth.Outputs.is_cam_module ~min_cluster:4
+                            ~gn_approx:128 ~stop_size:30 ~partitioner:det mg ~outputs
+                            ~detect)
+                    in
+                    let located = Rca_core.Pipeline.located_bugs mg pl ~bug_nodes in
+                    let r = pl.Rca_core.Pipeline.result in
+                    Printf.printf
+                      "    pipeline  %-12s %9.3f s   %d iterations, outcome %s, %d/%d \
+                       bugs located\n%!"
+                      name t
+                      (List.length r.Rca_core.Refine.iterations)
+                      (R.outcome_string r.Rca_core.Refine.outcome)
+                      (List.length located) (List.length bug_nodes);
+                    pipeline_rows :=
+                      ( name,
+                        t,
+                        List.length r.Rca_core.Refine.iterations,
+                        R.outcome_string r.Rca_core.Refine.outcome,
+                        located )
+                      :: !pipeline_rows;
+                    located)
+                  [ R.Girvan_newman; R.Gn_adaptive; R.Modularity_greedy ]
+              in
+              match located_sets with
+              | ref_set :: rest ->
+                  if not (List.for_all (fun s -> s = ref_set) rest) then
+                    located_ok := false
+              | [] -> ()
+            end;
+            let partition_json =
+              List.rev_map
+                (fun (name, t, q) ->
+                  Printf.sprintf
+                    {|        {"detector": "%s", "seconds": %.6f, "communities": %d, "modularity": %.6f, "mean_conductance": %.6f}|}
+                    name t q.Q.q_communities q.Q.q_modularity q.Q.q_mean_conductance)
+                !partition_rows
+            in
+            let pipeline_json =
+              List.rev_map
+                (fun (name, t, iters, outcome, located) ->
+                  Printf.sprintf
+                    {|        {"detector": "%s", "seconds": %.6f, "iterations": %d, "outcome": "%s", "located_bugs": [%s]}|}
+                    name t iters outcome
+                    (String.concat ", " (List.map string_of_int located)))
+                !pipeline_rows
+            in
+            scale_jsons :=
+              Printf.sprintf
+                "    {\"scale\": \"%s\", \"metagraph_nodes\": %d, \"metagraph_arcs\": \
+                 %d, \"slice_nodes\": %d, \"slice_arcs\": %d,\n\
+                 \      \"partition\": [\n\
+                 %s\n\
+                 \      ],\n\
+                 \      \"pipeline\": [\n\
+                 %s\n\
+                 \      ]}"
+                label (MG.n_nodes mg)
+                (G.Digraph.m mg.MG.graph)
+                (G.Digraph.n sg) (G.Digraph.m sg)
+                (String.concat ",\n" partition_json)
+                (String.concat ",\n" pipeline_json)
+              :: !scale_jsons)
+          [
+            ("small", Rca_synth.Config.small, true, true);
+            ("paper", config, true, true);
+            ("huge", Rca_synth.Config.huge, false, false);
+          ];
+        (* adaptive parallelism: the paper-scale pipeline must not get
+           slower when domains are requested (the pre-fix regression was
+           2.5x slower at 4 domains on a 1-core container) *)
+        let fixture = Fixture.make ~inject:Experiments.goffgratch.Harness.inject config in
+        let mg = fixture.Fixture.mg in
+        let bug_nodes =
+          Fixture.bug_nodes fixture
+            ~canonicals:Experiments.goffgratch.Harness.bug_canonicals
+        in
+        let detect = Rca_core.Detector.reachability mg ~bug_nodes in
+        let pipeline_at d =
+          let best = ref infinity in
+          for _ = 1 to 2 do
+            let _, t =
+              timeit (fun () ->
+                  Rca_core.Pipeline.run ~keep_module:Rca_synth.Outputs.is_cam_module
+                    ~min_cluster:4 ~gn_approx:128 ~stop_size:30 ~domains:d mg ~outputs
+                    ~detect)
+            in
+            if t < !best then best := t
+          done;
+          !best
+        in
+        let t_seq = pipeline_at 1 in
+        let t_par = pipeline_at domains in
+        Printf.printf
+          "  paper pipeline, 1 domain %8.3f s vs %d domains %8.3f s (ratio %.2f)\n%!"
+          t_seq domains t_par (t_par /. t_seq);
+        let speedup = !paper_exact_t /. !paper_greedy_t in
+        Printf.printf "  paper partition: exact %.3f s, greedy %.4f s -> %.0fx\n%!"
+          !paper_exact_t !paper_greedy_t speedup;
+        let greedy_modularity_floor = 0.30 in
+        checked "greedy >= 10x exact G-N on the paper slice" (speedup >= 10.0);
+        checked "located_bugs identical across detectors" !located_ok;
+        checked
+          (Printf.sprintf "greedy modularity >= %.2f on the paper slice"
+             greedy_modularity_floor)
+          (!paper_greedy_q >= greedy_modularity_floor);
+        checked
+          (Printf.sprintf "%d-domain pipeline <= 1.15x sequential" domains)
+          (t_par <= 1.15 *. t_seq);
+        (match json with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Printf.fprintf oc
+              "{\n\
+              \  \"bench\": \"scaling\",\n\
+              \  \"cores_visible\": %d,\n\
+              \  \"domains_requested\": %d,\n\
+              \  \"scales\": [\n\
+               %s\n\
+              \  ],\n\
+              \  \"parallel\": {\"scale\": \"paper\", \"seconds_sequential\": %.6f, \
+               \"seconds_parallel\": %.6f, \"ratio\": %.4f},\n\
+              \  \"paper_speedup_greedy_vs_exact\": %.2f,\n\
+              \  \"gates\": {\n\
+               %s\n\
+              \  }\n\
+               }\n"
+              (Domain.recommended_domain_count ())
+              domains
+              (String.concat ",\n" (List.rev !scale_jsons))
+              t_seq t_par (t_par /. t_seq) speedup
+              (String.concat ",\n"
+                 (List.rev_map
+                    (fun (name, cond) ->
+                      Printf.sprintf {|    "%s": %b|} (json_escape name) cond)
+                    !gates));
+            close_out oc;
+            Printf.printf "  telemetry written to %s\n%!" path);
+        !all_ok)
+  in
+  if not ok then begin
+    Printf.eprintf "scaling bench: a gate failed\n";
+    exit 1
+  end
+
 (* --- static analysis: lint + differential oracle on the small model ------------------- *)
 
 let run_lint_bench ~json () =
@@ -756,13 +1002,17 @@ let run_lint_bench ~json () =
    two scorecards to be byte-identical — the determinism regression the
    corpus's single SplitMix seed promises — then write the scorecard
    artifact (CAMPAIGN_scorecard.json, or the --json path). *)
-let run_campaign_bench ~json ~trace ~domains () =
+let run_campaign_bench ~json ~trace ~domains ~partitioner () =
   hr ();
   let module Campaign = Rca_faults.Campaign in
   if trace <> None then Rca_obs.Obs.enable ();
   time "campaign" (fun () ->
       let params =
-        { (Campaign.default_params Rca_synth.Config.tiny) with Campaign.domains }
+        {
+          (Campaign.default_params Rca_synth.Config.tiny) with
+          Campaign.domains;
+          partitioner;
+        }
       in
       let timeit f =
         let t0 = Unix.gettimeofday () in
@@ -803,7 +1053,7 @@ let all_experiments =
     ("dyn3bug", Experiments.dyn3bug);
   ]
 
-let run_target ~json ~trace ~domains = function
+let run_target ~json ~trace ~domains ~partitioner = function
   | "ablation" -> run_ablation ()
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
@@ -813,10 +1063,11 @@ let run_target ~json ~trace ~domains = function
   | "micro" -> microbenchmarks ()
   | "micro-par" -> run_micro_par ()
   | "gn" -> run_gn_bench ~trace ~json ~domains ()
-  | "pipeline" -> run_pipeline_bench ~json ~trace ~domains ()
-  | "refine" -> run_refine_bench ~json ~trace ~domains ()
+  | "pipeline" -> run_pipeline_bench ~json ~trace ~domains ~partitioner ()
+  | "refine" -> run_refine_bench ~json ~trace ~domains ~partitioner ()
+  | "scaling" -> run_scaling_bench ~json ~domains ()
   | "lint" -> run_lint_bench ~json ()
-  | "campaign" -> run_campaign_bench ~json ~trace ~domains ()
+  | "campaign" -> run_campaign_bench ~json ~trace ~domains ~partitioner ()
   | name -> (
       match List.assoc_opt name all_experiments with
       | Some spec -> run_experiment spec
@@ -824,29 +1075,37 @@ let run_target ~json ~trace ~domains = function
           Printf.eprintf "unknown target %S\n" name;
           exit 1)
 
-(* Split "--json PATH" / "--trace PATH" / "--domains N" flags out of the
-   target list. *)
+(* Split "--json PATH" / "--trace PATH" / "--domains N" / "--detector NAME"
+   flags out of the target list.  Detector names go through the shared
+   Refine.partitioner_of_string helper — the same vocabulary as
+   rca_main's --detector, by construction. *)
 let parse_args args =
-  let rec go targets json trace domains = function
-    | [] -> (List.rev targets, json, trace, domains)
-    | "--json" :: path :: rest -> go targets (Some path) trace domains rest
-    | "--trace" :: path :: rest -> go targets json (Some path) domains rest
+  let rec go targets json trace domains partitioner = function
+    | [] -> (List.rev targets, json, trace, domains, partitioner)
+    | "--json" :: path :: rest -> go targets (Some path) trace domains partitioner rest
+    | "--trace" :: path :: rest -> go targets json (Some path) domains partitioner rest
     | "--domains" :: d :: rest -> (
         match int_of_string_opt d with
-        | Some d when d >= 1 -> go targets json trace d rest
+        | Some d when d >= 1 -> go targets json trace d partitioner rest
         | _ ->
             Printf.eprintf "--domains expects a positive integer, got %S\n" d;
             exit 1)
-    | ("--json" | "--trace" | "--domains") :: [] ->
+    | "--detector" :: name :: rest -> (
+        match Rca_core.Refine.partitioner_of_string name with
+        | Some p -> go targets json trace domains p rest
+        | None ->
+            Printf.eprintf "unknown detector %S (gn|gn-adaptive|greedy|louvain|lp)\n" name;
+            exit 1)
+    | ("--json" | "--trace" | "--domains" | "--detector") :: [] ->
         Printf.eprintf "missing value for flag\n";
         exit 1
-    | t :: rest -> go (t :: targets) json trace domains rest
+    | t :: rest -> go (t :: targets) json trace domains partitioner rest
   in
-  go [] None None 4 args
+  go [] None None 4 Rca_core.Refine.Girvan_newman args
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
-  let targets, json, trace, domains = parse_args args in
+  let targets, json, trace, domains, partitioner = parse_args args in
   match targets with
   | [] ->
       Printf.printf "climate-rca reproduction harness (model scale: paper, %d modules)\n\n"
@@ -861,6 +1120,6 @@ let () =
       microbenchmarks ();
       run_micro_par ();
       run_gn_bench ~trace ~json ~domains ();
-      run_pipeline_bench ~json:None ~trace:None ~domains ();
-      run_refine_bench ~json:None ~trace:None ~domains ()
-  | targets -> List.iter (run_target ~json ~trace ~domains) targets
+      run_pipeline_bench ~json:None ~trace:None ~domains ~partitioner ();
+      run_refine_bench ~json:None ~trace:None ~domains ~partitioner ()
+  | targets -> List.iter (run_target ~json ~trace ~domains ~partitioner) targets

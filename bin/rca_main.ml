@@ -12,26 +12,53 @@
 open Cmdliner
 open Rca_experiments
 
+let scale_label config =
+  if config = Rca_synth.Config.tiny then "tiny"
+  else if config = Rca_synth.Config.small then "small"
+  else if config = Rca_synth.Config.huge then "huge"
+  else "paper"
+
 let config_of_string = function
   | "tiny" -> Ok Rca_synth.Config.tiny
   | "small" -> Ok Rca_synth.Config.small
   | "paper" -> Ok Rca_synth.Config.paper
-  | s -> Error (`Msg (Printf.sprintf "unknown scale %S (tiny|small|paper)" s))
+  | "huge" -> Ok Rca_synth.Config.huge
+  | s -> Error (`Msg (Printf.sprintf "unknown scale %S (tiny|small|paper|huge)" s))
 
 let config_conv =
   Arg.conv
-    ( (fun s -> config_of_string s),
-      fun ppf c ->
-        Format.fprintf ppf "%s"
-          (if c = Rca_synth.Config.tiny then "tiny"
-           else if c = Rca_synth.Config.small then "small"
-           else "paper") )
+    ((fun s -> config_of_string s), fun ppf c -> Format.fprintf ppf "%s" (scale_label c))
 
 let scale_arg =
   Arg.(
     value
     & opt config_conv Rca_synth.Config.small
-    & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Model scale: tiny, small or paper.")
+    & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Model scale: tiny, small, paper or huge.")
+
+(* Detector names parse through the one shared helper
+   (Refine.partitioner_of_string) so this flag and bench/main's --detector
+   accept the same vocabulary. *)
+let partitioner_conv =
+  Arg.conv
+    ( (fun s ->
+        match Rca_core.Refine.partitioner_of_string s with
+        | Some p -> Ok p
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown detector %S (gn|gn-adaptive|greedy|louvain|lp)" s))),
+      fun ppf p -> Format.fprintf ppf "%s" (Rca_core.Refine.partitioner_string p) )
+
+let detector_arg =
+  Arg.(
+    value
+    & opt partitioner_conv Rca_core.Refine.Girvan_newman
+    & info [ "detector" ] ~docv:"NAME"
+        ~doc:
+          "Community detector for the refinement's step 5: $(b,gn) (exact incremental \
+           Girvan-Newman, the paper's), $(b,gn-adaptive) (G-N with adaptive \
+           source-sampled Brandes), $(b,greedy) (deterministic modularity-greedy \
+           agglomeration), $(b,louvain), or $(b,lp) (label propagation).")
 
 let members_arg =
   Arg.(
@@ -216,7 +243,8 @@ let trace_arg =
            Tracing never changes results.")
 
 let experiment_cmd =
-  let run config members runtime domains trace static_prune analysis_report name =
+  let run config members runtime partitioner domains trace static_prune analysis_report
+      name =
     match Experiments.find name with
     | None ->
         Printf.eprintf "unknown experiment %S (wsubbug|rand-mt|goffgratch|avx2|avx2-full|randombug|dyn3bug)\n" name;
@@ -227,6 +255,7 @@ let experiment_cmd =
             (Harness.default_params config) with
             Harness.ensemble_members = members;
             detector = (if runtime then Harness.Runtime else Harness.Simulated);
+            partitioner;
             domains;
             static_prune = static_prune || analysis_report <> None;
           }
@@ -284,22 +313,17 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one paper experiment end to end")
     Term.(
-      const run $ scale_arg $ members_arg $ runtime_arg $ domains_arg $ trace_arg
-      $ static_prune_arg $ analysis_report_arg $ name_arg)
+      const run $ scale_arg $ members_arg $ runtime_arg $ detector_arg $ domains_arg
+      $ trace_arg $ static_prune_arg $ analysis_report_arg $ name_arg)
 
 (* --- campaign ---------------------------------------------------------------------- *)
 
 let campaign_cmd =
-  let run config seed members max_per_family domains trace scorecard min_precision
-      max_crashed =
-    let scale_label =
-      if config = Rca_synth.Config.tiny then "tiny"
-      else if config = Rca_synth.Config.small then "small"
-      else "paper"
-    in
+  let run config seed members max_per_family partitioner domains trace scorecard
+      min_precision max_crashed =
     let p =
       {
-        (Rca_faults.Campaign.default_params ~scale_label config) with
+        (Rca_faults.Campaign.default_params ~scale_label:(scale_label config) config) with
         Rca_faults.Campaign.corpus =
           {
             (Rca_faults.Corpus.default_params config) with
@@ -307,6 +331,7 @@ let campaign_cmd =
             max_per_family;
           };
         ensemble_members = members;
+        partitioner;
         domains;
       }
     in
@@ -392,7 +417,8 @@ let campaign_cmd =
           anomaly-score baseline.")
     Term.(
       const run $ scale_arg $ seed_arg $ campaign_members_arg $ per_family_arg
-      $ domains_arg $ trace_arg $ scorecard_arg $ min_precision_arg $ max_crashed_arg)
+      $ detector_arg $ domains_arg $ trace_arg $ scorecard_arg $ min_precision_arg
+      $ max_crashed_arg)
 
 (* --- table1 ------------------------------------------------------------------------ *)
 

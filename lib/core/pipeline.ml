@@ -22,7 +22,7 @@ type t = {
    materializing path runs (pruned metagraph copy, induced-subgraph
    rebuilds) — kept as the differential reference for `bench refine`. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
-    ?gn_approx ?choose_when_stuck ?domains ?(static_dead = [])
+    ?gn_approx ?partitioner ?choose_when_stuck ?domains ?pool ?(static_dead = [])
     ?(engine = (`Masked : Refine.engine)) (mg : MG.t) ~outputs ~detect : t =
   Rca_obs.Obs.span' "pipeline.run"
     (fun t ->
@@ -94,8 +94,8 @@ let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations
   in
   let result =
     Refine.refine ?m_sample ?min_community ?max_iterations ?stop_size ?gn_approx
-      ?choose_when_stuck ?domains ~engine ?frozen mg_for_run ~initial:slice.Slice.nodes
-      ~detect
+      ?partitioner ?choose_when_stuck ?domains ?pool ~engine ?frozen mg_for_run
+      ~initial:slice.Slice.nodes ~detect
   in
   { slice; result }
 

@@ -17,8 +17,10 @@ val run :
   ?max_iterations:int ->
   ?stop_size:int ->
   ?gn_approx:int ->
+  ?partitioner:Refine.partitioner ->
   ?choose_when_stuck:(int list -> int list -> int option) ->
   ?domains:int ->
+  ?pool:Rca_graph.Pool.t ->
   ?static_dead:int list ->
   ?engine:Refine.engine ->
   MG.t ->
@@ -31,8 +33,13 @@ val run :
     [choose_when_stuck] (default none) is handed to {!Refine.refine} as
     the Section 6.3 narrowing fallback for non-refining 8b iterations —
     {!Refine.smallest_ancestry} partially applied to the metagraph is
-    the usual choice.  [domains] (default 1) parallelizes the refinement's community and
-    centrality hot paths over a domain pool without changing results.
+    the usual choice.  [partitioner] (default {!Refine.Girvan_newman})
+    selects the step-5 community detector — the approximate detectors
+    ([Gn_adaptive], [Modularity_greedy]) may partition differently but
+    are gated on the located-bugs oracle.  [domains] (default 1)
+    parallelizes the refinement's community and centrality hot paths
+    over a domain pool without changing results; [pool] shares an
+    existing pool across runs instead (overrides [domains]).
     [static_dead] (default none) names metagraph nodes the static
     analyzer proved dead; their incident edges are pruned before slicing.
     Only nodes with no outgoing edges that are not slicing targets are

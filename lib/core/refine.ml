@@ -69,9 +69,35 @@ let ancestors_within (mg : MG.t) nodes targets =
   |> List.sort compare
 
 (* Community method for step 5: the paper uses one Girvan-Newman
-   iteration; Louvain and label propagation are the alternative
-   partitioners its Section 5.2/6.3 remarks invite. *)
-type partitioner = Girvan_newman | Louvain | Label_propagation
+   iteration; the alternatives its Section 5.2/6.3 remarks invite are the
+   fast detectors — adaptive source-sampled G-N, deterministic
+   modularity-greedy agglomeration — plus Louvain and label propagation.
+   Approximate detectors are judged by the quality harness
+   (Rca_graph.Quality) and the end-to-end located_bugs oracle, not by
+   bitwise identity with exact G-N. *)
+type partitioner =
+  | Girvan_newman
+  | Gn_adaptive
+  | Modularity_greedy
+  | Louvain
+  | Label_propagation
+
+let partitioner_string = function
+  | Girvan_newman -> "gn"
+  | Gn_adaptive -> "gn-adaptive"
+  | Modularity_greedy -> "greedy"
+  | Louvain -> "louvain"
+  | Label_propagation -> "lp"
+
+(* One detector-name parser shared by every CLI surface (bin/rca_main
+   and bench/main) so the flag vocabularies cannot drift. *)
+let partitioner_of_string = function
+  | "gn" | "girvan-newman" | "exact" -> Some Girvan_newman
+  | "gn-adaptive" | "adaptive" | "sampled" -> Some Gn_adaptive
+  | "greedy" | "modularity-greedy" | "leiden" -> Some Modularity_greedy
+  | "louvain" -> Some Louvain
+  | "lp" | "label-propagation" -> Some Label_propagation
+  | _ -> None
 
 let induced_sub ?frozen (mg : MG.t) nodes =
   match frozen with
@@ -80,17 +106,31 @@ let induced_sub ?frozen (mg : MG.t) nodes =
 
 let communities_of (mg : MG.t) ?gn_approx ?(min_community = 3)
     ?(partitioner = Girvan_newman) ?pool ?frozen nodes =
-  let sub = induced_sub ?frozen mg nodes in
-  let partition =
-    match partitioner with
-    | Girvan_newman ->
-        (G.Community.girvan_newman_step ?approx:gn_approx ?pool sub.G.Digraph.graph)
-          .G.Community.partition
-    | Louvain -> G.Community.louvain sub.G.Digraph.graph
-    | Label_propagation -> G.Community.label_propagation sub.G.Digraph.graph
-  in
-  G.Community.significant_communities ~min_size:min_community partition
-  |> List.map (fun comm -> List.map (G.Digraph.sub_to_parent sub) comm)
+  match (partitioner, frozen) with
+  | Modularity_greedy, Some fz ->
+      (* The greedy engine runs directly on the frozen CSR restricted to
+         the live nodes — the one partitioner that needs no induced
+         subgraph at all. *)
+      let alive = Frozen.mask_of_list fz nodes in
+      G.Community.modularity_greedy_masked fz.Frozen.csr fz.Frozen.rev ~alive
+      |> List.filter (fun comm -> List.length comm >= min_community)
+  | _ ->
+      let sub = induced_sub ?frozen mg nodes in
+      let partition =
+        match partitioner with
+        | Girvan_newman ->
+            (G.Community.girvan_newman_step ?approx:gn_approx ?pool sub.G.Digraph.graph)
+              .G.Community.partition
+        | Gn_adaptive ->
+            (G.Community.girvan_newman_step ?approx:gn_approx
+               ~adaptive:G.Community.default_adaptive ?pool sub.G.Digraph.graph)
+              .G.Community.partition
+        | Modularity_greedy -> G.Community.modularity_greedy sub.G.Digraph.graph
+        | Louvain -> G.Community.louvain sub.G.Digraph.graph
+        | Label_propagation -> G.Community.label_propagation sub.G.Digraph.graph
+      in
+      G.Community.significant_communities ~min_size:min_community partition
+      |> List.map (fun comm -> List.map (G.Digraph.sub_to_parent sub) comm)
 
 (* Node-importance measure for step 6.  The paper settles on eigenvector
    in-centrality; the alternatives support the ablation bench. *)
@@ -174,12 +214,16 @@ let outcome_string = function
 let engine_string = function `List -> "list" | `Masked -> "masked"
 
 let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_size = 30)
-    ?gn_approx ?partitioner ?measure ?choose_when_stuck ?(domains = 1)
+    ?gn_approx ?partitioner ?measure ?choose_when_stuck ?(domains = 1) ?pool
     ?(engine = (`Masked : engine)) ?frozen (mg : MG.t) ~initial ~(detect : Detector.t) :
     result =
   (* One pool for the whole refinement: spawned once, reused by every
-     Girvan–Newman betweenness recomputation and centrality sweep.
-     [domains <= 1] keeps today's sequential code paths byte-for-byte. *)
+     Girvan–Newman betweenness recomputation and centrality sweep — or
+     shared across many refinements when the caller passes [?pool] (the
+     campaign runner does, one pool for the whole fault corpus).  A
+     [domains] request is clamped to the machine's usable parallelism;
+     an effective size of 1 keeps the sequential code paths
+     byte-for-byte. *)
   let run_with pool =
   (* One frozen snapshot for the whole refinement (reused from the
      caller's when given): every 8a/8b ancestor sweep is a masked reverse
@@ -374,5 +418,9 @@ let refine ?(m_sample = 10) ?(min_community = 3) ?(max_iterations = 10) ?(stop_s
         ("outcome", Rca_obs.Obs.Str (outcome_string r.outcome));
       ])
   @@ fun () ->
-  if domains > 1 then G.Pool.with_pool domains (fun p -> run_with (Some p))
-  else run_with None
+  match pool with
+  | Some p -> run_with (if G.Pool.size p > 1 then Some p else None)
+  | None ->
+      let k = G.Pool.recommended_size ~requested:domains in
+      if k > 1 then G.Pool.with_pool k (fun p -> run_with (Some p))
+      else run_with None

@@ -42,7 +42,28 @@ val ancestors_within : MG.t -> int list -> int list -> int list
     the list-based reference (one induced-subgraph rebuild per call);
     the masked equivalent is {!Frozen.ancestors}. *)
 
-type partitioner = Girvan_newman | Louvain | Label_propagation
+type partitioner =
+  | Girvan_newman  (** exact incremental G-N — the paper's detector *)
+  | Gn_adaptive
+      (** G-N with adaptive source-sampled Brandes per rescore
+          ({!Rca_graph.Community.default_adaptive}): same split loop, each
+          betweenness recomputation stops as soon as a Hoeffding-style
+          bound certifies the argmax edge *)
+  | Modularity_greedy
+      (** deterministic modularity-greedy agglomeration
+          ({!Rca_graph.Community.modularity_greedy}); on the masked engine
+          it runs directly on the frozen CSR with no induced subgraph *)
+  | Louvain
+  | Label_propagation
+
+val partitioner_string : partitioner -> string
+(** Canonical CLI name: gn | gn-adaptive | greedy | louvain | lp. *)
+
+val partitioner_of_string : string -> partitioner option
+(** Parse a detector name (canonical names plus aliases girvan-newman /
+    exact, adaptive / sampled, modularity-greedy / leiden,
+    label-propagation).  The single parser behind every [--detector]
+    flag. *)
 
 val communities_of :
   MG.t ->
@@ -100,6 +121,7 @@ val refine :
   ?measure:centrality_measure ->
   ?choose_when_stuck:(int list -> int list -> int option) ->
   ?domains:int ->
+  ?pool:Rca_graph.Pool.t ->
   ?engine:engine ->
   ?frozen:Frozen.t ->
   MG.t ->
@@ -110,12 +132,16 @@ val refine :
     sample (7), shrink by 8a (nothing detected: drop the sampled nodes'
     ancestor closure) or 8b (keep the detected nodes' ancestors), repeat
     (9).  [domains] (default 1) sizes a domain pool — spawned once for
-    the whole refinement — that parallelizes the community-detection and
-    centrality hot paths; 1 keeps the sequential code paths byte-for-byte
-    and any value produces the same final node set.  [engine] (default
-    [`Masked]) selects the node-set bookkeeping; [frozen] reuses the
-    caller's snapshot (one per {!Pipeline.run}) instead of freezing
-    again.  Both engines produce bit-identical results. *)
+    the whole refinement, clamped via {!Rca_graph.Pool.recommended_size}
+    to the machine's usable parallelism — that parallelizes the
+    community-detection and centrality hot paths; an effective size of 1
+    keeps the sequential code paths byte-for-byte and any value produces
+    the same final node set.  [pool] supplies an existing pool instead
+    (overrides [domains]; not shut down here) so many refinements can
+    share one set of worker domains.  [engine] (default [`Masked])
+    selects the node-set bookkeeping; [frozen] reuses the caller's
+    snapshot (one per {!Pipeline.run}) instead of freezing again.  Both
+    engines produce bit-identical results. *)
 
 val outcome_string : outcome -> string
 val engine_string : engine -> string

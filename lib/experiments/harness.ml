@@ -29,6 +29,7 @@ type params = {
   gn_approx : int option;
   stop_size : int;
   detector : detector_kind;
+  partitioner : Rca_core.Refine.partitioner;  (* step-5 community detector *)
   domains : int;  (* domain-pool size for the refinement hot paths *)
   static_prune : bool;
       (* run the static analyzer over the covered program and prune its
@@ -44,6 +45,7 @@ let default_params config =
     gn_approx = Some 128;
     stop_size = 30;
     detector = Simulated;
+    partitioner = Rca_core.Refine.Girvan_newman;
     domains = 1;
     static_prune = false;
   }
@@ -142,8 +144,8 @@ let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
   let pipeline =
     Rca_core.Pipeline.run ~keep_module ~min_cluster:4 ~m_sample:p.m_sample
       ?gn_approx:(Option.map (fun x -> x) p.gn_approx)
-      ~stop_size:p.stop_size ~domains:p.domains ~static_dead fixture.Fixture.mg
-      ~outputs:affected_outputs ~detect
+      ~stop_size:p.stop_size ~partitioner:p.partitioner ~domains:p.domains ~static_dead
+      fixture.Fixture.mg ~outputs:affected_outputs ~detect
   in
   let sub = Rca_core.Slice.subgraph pipeline.Rca_core.Pipeline.slice in
   (* 4. success criterion: a bug node was sampled, detected, or survives

@@ -31,6 +31,7 @@ type params = {
   stop_size : int;
   selection_target : int;
   baseline_k : int;  (* candidates the graph-free ranking may return *)
+  partitioner : Rca_core.Refine.partitioner;  (* step-5 community detector *)
   domains : int;
 }
 
@@ -45,6 +46,7 @@ let default_params ?(scale_label = "tiny") config =
     stop_size = 12;
     selection_target = 5;
     baseline_k = 12;
+    partitioner = Rca_core.Refine.Girvan_newman;
     domains = 1;
   }
 
@@ -75,6 +77,10 @@ type scored = {
   s_baseline_watched : int;  (* nodes the graph-free baseline instrumented *)
   s_located : bool;
   s_refine_outcome : string;
+  s_quality : Rca_graph.Quality.report option;
+      (* first iteration's partition quality (None when the refinement
+         never split) — how the approximate detectors are judged beyond
+         the located-bugs oracle *)
 }
 
 type outcome =
@@ -176,7 +182,26 @@ let baseline_candidates ~k ~(fixture : Fixture.t) ~(fault : Fault.t) : int list 
 
 (* ---- per-fault execution --------------------------------------------------------- *)
 
-let run_fault ~(p : params) ~(clean : Fixture.t) ~ensemble ~ect (fault : Fault.t) :
+(* Quality of the first refinement iteration's community split, scored on
+   the subgraph it was computed on.  Post-hoc and deterministic — it
+   never influences the refinement itself. *)
+let first_iteration_quality (mg : MG.t) (result : Rca_core.Refine.result) =
+  match result.Rca_core.Refine.iterations with
+  | [] -> None
+  | it :: _ when it.Rca_core.Refine.communities = [] -> None
+  | it :: _ ->
+      let sub =
+        Rca_graph.Digraph.induced_subgraph mg.MG.graph it.Rca_core.Refine.nodes
+      in
+      let communities =
+        List.map
+          (List.filter_map (Rca_graph.Digraph.sub_of_parent sub))
+          it.Rca_core.Refine.communities
+      in
+      Some
+        (Rca_graph.Quality.of_communities sub.Rca_graph.Digraph.graph communities)
+
+let run_fault ~(p : params) ~(clean : Fixture.t) ~ensemble ~ect ?pool (fault : Fault.t) :
     fault_result =
   Obs.span ~args:[ ("fault", Obs.Str fault.Fault.id) ] "campaign.fault" @@ fun () ->
   try
@@ -228,9 +253,10 @@ let run_fault ~(p : params) ~(clean : Fixture.t) ~ensemble ~ect (fault : Fault.t
                discrepancy reaches the state hubs stall at the full slice *)
             Rca_core.Pipeline.run ~min_cluster:4 ~m_sample:p.m_sample
               ?gn_approx:p.gn_approx ~stop_size:p.stop_size
+              ~partitioner:p.partitioner
               ~choose_when_stuck:
                 (Rca_core.Refine.smallest_ancestry fixture.Fixture.mg)
-              ~domains:p.domains fixture.Fixture.mg ~outputs:affected ~detect
+              ?pool fixture.Fixture.mg ~outputs:affected ~detect
           in
           let result = pipeline.Rca_core.Pipeline.result in
           let located =
@@ -263,6 +289,7 @@ let run_fault ~(p : params) ~(clean : Fixture.t) ~ensemble ~ect (fault : Fault.t
                   s_located = located;
                   s_refine_outcome =
                     Rca_core.Refine.outcome_string result.Rca_core.Refine.outcome;
+                  s_quality = first_iteration_quality fixture.Fixture.mg result;
                 };
           }
     end
@@ -319,7 +346,20 @@ let run (p : params) : t =
   let clean = corpus.Corpus.fixture in
   let ensemble = Fixture.control_ensemble clean ~members:p.ensemble_members in
   let ect = Rca_ect.Ect.fit ~var_names:Model.output_names ensemble in
-  let results = List.map (run_fault ~p ~clean ~ensemble ~ect) corpus.Corpus.faults in
+  (* One pool for the whole campaign: worker domains are spawned once
+     and every fault's refinement reuses them, instead of a spawn +
+     join per pipeline run.  The requested size is clamped to the
+     machine's usable parallelism; an effective size of 1 runs the
+     sequential paths with no pool at all. *)
+  let with_campaign_pool f =
+    let k = Rca_graph.Pool.recommended_size ~requested:p.domains in
+    if k > 1 then Rca_graph.Pool.with_pool k (fun pool -> f (Some pool))
+    else f None
+  in
+  let results =
+    with_campaign_pool (fun pool ->
+        List.map (run_fault ~p ~clean ~ensemble ~ect ?pool) corpus.Corpus.faults)
+  in
   let per_family =
     List.filter_map
       (fun fam ->
@@ -371,12 +411,17 @@ let fault_json (r : fault_result) =
       Printf.sprintf {|{%s, "status": "crashed", "error": "%s"}|} head (json_escape msg)
   | Undetected -> Printf.sprintf {|{%s, "status": "undetected"}|} head
   | Scored s ->
+      let quality =
+        match s.s_quality with
+        | None -> ""
+        | Some q -> Printf.sprintf {|, "quality": %s|} (Rca_graph.Quality.summary_json q)
+      in
       Printf.sprintf
-        {|{%s, "status": "scored", "located": %b, "iterations": %d, "slice_nodes": %d, "refine_outcome": "%s", "candidates": %d, "sampled_sites": %d, "pipeline": %s, "baseline_candidates": %d, "baseline_watched": %d, "baseline": %s}|}
+        {|{%s, "status": "scored", "located": %b, "iterations": %d, "slice_nodes": %d, "refine_outcome": "%s", "candidates": %d, "sampled_sites": %d, "pipeline": %s, "baseline_candidates": %d, "baseline_watched": %d, "baseline": %s%s}|}
         head s.s_located s.s_iterations s.s_slice_nodes
         (json_escape s.s_refine_outcome)
         s.s_candidates s.s_sampled_sites (score_json s.s_pipeline) s.s_baseline_candidates
-        s.s_baseline_watched (score_json s.s_baseline)
+        s.s_baseline_watched (score_json s.s_baseline) quality
 
 let family_json (fs : family_stats) =
   Printf.sprintf
@@ -391,11 +436,12 @@ let scorecard_json (t : t) : string =
   Buffer.add_string buf
     (Printf.sprintf
        {|{
-  "campaign": {"scale": "%s", "seed": %d, "faults": %d, "families": %d, "max_per_family": %d, "ensemble_members": %d, "experimental_members": %d, "stop_size": %d, "baseline_k": %d},
+  "campaign": {"scale": "%s", "seed": %d, "detector": "%s", "faults": %d, "families": %d, "max_per_family": %d, "ensemble_members": %d, "experimental_members": %d, "stop_size": %d, "baseline_k": %d},
 |}
-       (json_escape p.scale_label) p.corpus.Corpus.seed (List.length t.results)
-       (families_present t) p.corpus.Corpus.max_per_family p.ensemble_members
-       p.experimental_members p.stop_size p.baseline_k);
+       (json_escape p.scale_label) p.corpus.Corpus.seed
+       (Rca_core.Refine.partitioner_string p.partitioner)
+       (List.length t.results) (families_present t) p.corpus.Corpus.max_per_family
+       p.ensemble_members p.experimental_members p.stop_size p.baseline_k);
   Buffer.add_string buf "  \"faults\": [\n";
   List.iteri
     (fun i r ->

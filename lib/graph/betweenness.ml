@@ -101,7 +101,11 @@ let compute_sources ?pool g sources =
     "brandes.ref_sources"
   @@ fun () ->
   match pool with
-  | Some p when Pool.size p > 1 && nsources > 0 ->
+  (* Work-size gate: a single-chunk batch gains nothing from the pool
+     (one participant does all the work) but pays the barrier; below
+     [chunk_sources] sources, run inline.  Safe for determinism — one
+     pooled chunk accumulates in the same sequential source order. *)
+  | Some p when Pool.size p > 1 && nsources > chunk_sources ->
       let chunks = (nsources + chunk_sources - 1) / chunk_sources in
       let partials =
         Pool.run_chunks p ~chunks (fun c ->
@@ -216,7 +220,9 @@ let csr_compute_sources ?pool ?alive (csr : Csr.t) sources =
     "brandes.csr_sources"
   @@ fun () ->
   match pool with
-  | Some p when Pool.size p > 1 && nsources > 0 ->
+  (* Same work-size gate as [compute_sources]: single-chunk batches run
+     inline, identical accumulation order either way. *)
+  | Some p when Pool.size p > 1 && nsources > chunk_sources ->
       let chunks = (nsources + chunk_sources - 1) / chunk_sources in
       let partials =
         Pool.run_chunks p ~chunks (fun c ->

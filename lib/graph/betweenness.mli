@@ -16,7 +16,13 @@
     fixed-size source chunks whose partials are merged by a deterministic
     tree reduction — results are bitwise-identical for every pool size
     [>= 2] and within last-ulp float noise of the sequential path (which
-    remains byte-for-byte the historical code when no pool is given). *)
+    remains byte-for-byte the historical code when no pool is given).
+
+    Pool use is adaptive: batches of at most {!chunk_sources} sources
+    would occupy a single chunk (no parallelism, a full barrier), so they
+    run inline even when a pool is supplied.  This cannot change any
+    result — a one-chunk pooled batch accumulates in the same sequential
+    source order the inline path uses. *)
 
 type accumulators = {
   node_bc : float array;

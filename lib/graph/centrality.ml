@@ -59,7 +59,11 @@ let eigenvector ?(direction = In) ?(max_iter = 200) ?(tol = 1e-10) ?pool g =
     in
     let sweep =
       match pool with
-      | Some p when Pool.size p > 1 ->
+      (* Single-chunk sweeps gain nothing from the pool but pay a
+         barrier per iteration (and there are up to [max_iter] of
+         them); below one chunk of rows, sweep inline.  Each x'(v) is
+         written identically either way. *)
+      | Some p when Pool.size p > 1 && n > matvec_chunk_nodes ->
           let chunks = (n + matvec_chunk_nodes - 1) / matvec_chunk_nodes in
           fun x x' ->
             ignore

@@ -101,6 +101,35 @@ type gn_step = {
   removed_edges : (int * int) list;  (* undirected pairs removed *)
 }
 
+(* Adaptive source sampling for the incremental engine (Hoeffding-style,
+   after Brandes & Pich 2007 / Riondato & Kornaropoulos 2014's sampled
+   Brandes): per dirty component, accumulate dependency contributions
+   from a growing prefix of a deterministically shuffled source order and
+   stop as soon as the error bound certifies the argmax edge (or the
+   absolute accuracy floor).  One BFS source [s] contributes at most
+   [n_c - 1] to any undirected edge's dependency (every other node
+   reached through it at most fractionally), so by Hoeffding the
+   estimate [est = (n_c/k) * sum over k sampled sources] satisfies
+
+     |est - exact| <= n_c * (n_c - 1) * sqrt(ln(2 m_c / delta) / (2 k))
+
+   simultaneously for all [m_c] candidate edges with probability
+   [1 - delta].  Sampling stops when the top-two gap is at least twice
+   that bound (the argmax cannot flip), when the bound itself drops to
+   [epsilon] of the maximum possible score [n_c * (n_c - 1)], or when
+   [k = n_c] — in which case the engine discards the samples and re-runs
+   the exact ascending-order accumulation, so a fully sampled component
+   is bitwise the exact engine's. *)
+type adaptive = {
+  ad_epsilon : float;  (* absolute error floor, fraction of n_c*(n_c-1) *)
+  ad_delta : float;  (* per-recomputation failure probability budget *)
+  ad_seed : int;  (* SplitMix seed for the shuffled source orders *)
+  ad_min_samples : int;  (* first batch size; components up to twice this run exact *)
+}
+
+let default_adaptive =
+  { ad_epsilon = 0.1; ad_delta = 0.1; ad_seed = 0x5eed; ad_min_samples = 64 }
+
 (* --- the shared Girvan–Newman removal loop -------------------------------- *)
 
 (* Both G-N entry points (one-split step, run-to-target) and both engines
@@ -173,7 +202,7 @@ let reference_driver ?approx ?pool g =
    reference's global chunking, which perturbs sums by last-ulp noise —
    absorbed by the relative 1e-9 margin of [Betweenness.beats], exactly
    as for sequential-vs-parallel. *)
-let incremental_driver ?approx ?pool g =
+let incremental_driver ?approx ?adaptive ?pool g =
   let work = Digraph.to_undirected g in
   let csr = Csr.of_digraph work in
   let n = csr.Csr.n and m = csr.Csr.m in
@@ -218,7 +247,9 @@ let incremental_driver ?approx ?pool g =
     Array.sort compare nodes;
     (nodes, gen)
   in
-  (* initial component labeling *)
+  (* initial component labeling (components remembered in discovery
+     order for the adaptive mode's initial per-component scoring) *)
+  let initial_comps = ref [] in
   for v = 0 to n - 1 do
     if comp.(v) = -1 then begin
       let nodes, _ = bfs v in
@@ -226,33 +257,139 @@ let incremental_driver ?approx ?pool g =
       incr next_comp;
       incr ncomps;
       Array.iter (fun x -> comp.(x) <- c) nodes;
-      Hashtbl.replace members c nodes
+      Hashtbl.replace members c nodes;
+      initial_comps := nodes :: !initial_comps
     end
   done;
-  (* Initial scores: one global computation over the fixed source set —
-     the exact computation (and, under a pool, the exact chunk
-     structure) the reference performs before its first removal. *)
-  let initial =
-    Rca_obs.Obs.span "gn.initial_scores" (fun () ->
-        Betweenness.csr_compute_sources ?pool ~alive csr sources)
-  in
-  Array.blit initial.Betweenness.csr_edge_bc 0 edge_bc 0 m;
+  let initial_comps = List.rev !initial_comps in
   (* Sequential per-component scratch, reused across removals; the
      reset-in-O(visited) contract keeps small components cheap. *)
   let scratch = Betweenness.make_csr_scratch csr in
   let scratch_node_bc = Array.make n 0.0 in
-  let recompute nodes =
-    Rca_obs.Obs.span
-      ~args:[ ("component_nodes", Rca_obs.Obs.Int (Array.length nodes)) ]
-      "gn.recompute"
-    @@ fun () ->
+  let zero_component nodes =
     Array.iter
       (fun u ->
         for i = row.(u) to row.(u + 1) - 1 do
           edge_bc.(i) <- 0.0
         done)
-      nodes;
-    let srcs = Array.to_list nodes |> List.filter (fun v -> is_source.(v)) |> Array.of_list in
+      nodes
+  in
+  (* Exact accumulation for one component, ascending source order — the
+     reference's float-summation sequence for that component's arcs. *)
+  let accumulate_exact ~scratch ~node_bc srcs =
+    Array.iter
+      (fun s -> Betweenness.csr_accumulate_from csr ~alive scratch ~node_bc ~edge_bc s)
+      srcs
+  in
+  (* Adaptive rescoring of one component: grow a deterministic shuffled
+     sample until the Hoeffding bound certifies the argmax (see the
+     [adaptive] type above).  Scores left in [edge_bc] are the scaled
+     estimates [raw * n_c/k]; a fully sampled component falls back to
+     the exact ascending accumulation, bitwise the exact engine's. *)
+  let adaptive_recompute a nodes =
+    let nc = Array.length nodes in
+    Rca_obs.Obs.span
+      ~args:[ ("component_nodes", Rca_obs.Obs.Int nc) ]
+      "gn.recompute_adaptive"
+    @@ fun () ->
+    zero_component nodes;
+    Rca_obs.Obs.incr "gn.components_rescored";
+    let exact () =
+      Rca_obs.Obs.incr ~by:nc "gn.sources_rescored";
+      accumulate_exact ~scratch ~node_bc:scratch_node_bc nodes
+    in
+    if nc <= 2 * a.ad_min_samples then exact ()
+    else begin
+      (* the shuffled order is a pure function of the component and the
+         seed: independent of pool size, removal history and wall clock *)
+      let order = Array.copy nodes in
+      let rng = Rca_rng.Splitmix.create (a.ad_seed lxor (nc * 0x9E3779B1) lxor nodes.(0)) in
+      Rca_rng.Prng.shuffle rng order;
+      let comp_arcs = ref 0 in
+      Array.iter
+        (fun u ->
+          for i = row.(u) to row.(u + 1) - 1 do
+            if Bytes.unsafe_get alive i <> '\000' then incr comp_arcs
+          done)
+        nodes;
+      let m_pairs = max 1 (!comp_arcs / 2) in
+      let log_term = log (2.0 *. float_of_int m_pairs /. a.ad_delta) in
+      let fnc = float_of_int nc in
+      let max_bc = fnc *. float_of_int (nc - 1) in
+      let rec grow k =
+        let k' = min nc (if k = 0 then a.ad_min_samples else 2 * k) in
+        for i = k to k' - 1 do
+          Betweenness.csr_accumulate_from csr ~alive scratch ~node_bc:scratch_node_bc
+            ~edge_bc order.(i)
+        done;
+        Rca_obs.Obs.incr ~by:(k' - k) "gn.sources_rescored";
+        if k' = nc then begin
+          (* sampled every source: discard and redo in ascending order so
+             the scores (and argmax tie resolution) are bitwise exact *)
+          zero_component nodes;
+          Rca_obs.Obs.incr "gn.adaptive_exact_fallback";
+          exact ()
+        end
+        else begin
+          let scale = fnc /. float_of_int k' in
+          let err = max_bc *. sqrt (log_term /. (2.0 *. float_of_int k')) in
+          (* top-two undirected-pair estimates inside the component *)
+          let top1 = ref neg_infinity and top2 = ref neg_infinity in
+          Array.iter
+            (fun u ->
+              for i = row.(u) to row.(u + 1) - 1 do
+                if Bytes.unsafe_get alive i <> '\000' then begin
+                  let v = col.(i) in
+                  if u <= v then begin
+                    let e = scale *. (edge_bc.(i) +. edge_bc.(csr.Csr.rev.(i))) in
+                    if e > !top1 then begin
+                      top2 := !top1;
+                      top1 := e
+                    end
+                    else if e > !top2 then top2 := e
+                  end
+                end
+              done)
+            nodes;
+          if !top1 -. !top2 >= 2.0 *. err || err <= a.ad_epsilon *. max_bc then begin
+            Rca_obs.Obs.incr "gn.adaptive_bound_met";
+            Array.iter
+              (fun u ->
+                for i = row.(u) to row.(u + 1) - 1 do
+                  edge_bc.(i) <- edge_bc.(i) *. scale
+                done)
+              nodes
+          end
+          else grow k'
+        end
+      in
+      grow 0
+    end
+  in
+  (* Initial scores.  Exact mode: one global computation over the fixed
+     source set — the exact computation (and, under a pool, the exact
+     chunk structure) the reference performs before its first removal.
+     Adaptive mode: score each component adaptively from the start. *)
+  (match adaptive with
+  | Some a ->
+      Rca_obs.Obs.span "gn.initial_scores" (fun () ->
+          List.iter (fun nodes -> adaptive_recompute a nodes) initial_comps)
+  | None ->
+      let initial =
+        Rca_obs.Obs.span "gn.initial_scores" (fun () ->
+            Betweenness.csr_compute_sources ?pool ~alive csr sources)
+      in
+      Array.blit initial.Betweenness.csr_edge_bc 0 edge_bc 0 m);
+  let component_sources nodes =
+    Array.to_list nodes |> List.filter (fun v -> is_source.(v)) |> Array.of_list
+  in
+  let recompute nodes =
+    Rca_obs.Obs.span
+      ~args:[ ("component_nodes", Rca_obs.Obs.Int (Array.length nodes)) ]
+      "gn.recompute"
+    @@ fun () ->
+    zero_component nodes;
+    let srcs = component_sources nodes in
     Rca_obs.Obs.incr "gn.components_rescored";
     Rca_obs.Obs.incr ~by:(Array.length srcs) "gn.sources_rescored";
     (* The pool pays a broadcast + barrier per batch, so hand it only
@@ -269,12 +406,45 @@ let incremental_driver ?approx ?pool g =
               edge_bc.(i) <- acc.Betweenness.csr_edge_bc.(i)
             done)
           nodes
+    | _ -> accumulate_exact ~scratch ~node_bc:scratch_node_bc srcs
+  in
+  let rescore =
+    match adaptive with Some a -> adaptive_recompute a | None -> recompute
+  in
+  (* After a split both sides need rescoring.  Exact mode under a pool
+     parallelizes *across the two dirty components* (each side sequential
+     with private scratch — their arc ranges are disjoint, and a
+     per-component sequential accumulation is bitwise the sequential
+     engine's, a stronger guarantee than source chunking gives) when both
+     sides carry enough sources to amortize the batch barrier; otherwise
+     the sides run back to back, each free to source-chunk on its own. *)
+  let rescore_split side_a side_b =
+    match (adaptive, pool) with
+    | None, Some p
+      when Pool.size p > 1
+           && Array.length (component_sources side_a) > Betweenness.chunk_sources
+           && Array.length (component_sources side_b) > Betweenness.chunk_sources ->
+        Rca_obs.Obs.span
+          ~args:
+            [
+              ("side_a", Rca_obs.Obs.Int (Array.length side_a));
+              ("side_b", Rca_obs.Obs.Int (Array.length side_b));
+            ]
+          "gn.recompute_split"
+        @@ fun () ->
+        ignore
+          (Pool.run_chunks p ~chunks:2 (fun cidx ->
+               let nodes = if cidx = 0 then side_a else side_b in
+               let scratch = Betweenness.make_csr_scratch csr in
+               let node_bc = Array.make n 0.0 in
+               zero_component nodes;
+               let srcs = component_sources nodes in
+               Rca_obs.Obs.incr "gn.components_rescored";
+               Rca_obs.Obs.incr ~by:(Array.length srcs) "gn.sources_rescored";
+               accumulate_exact ~scratch ~node_bc srcs))
     | _ ->
-        Array.iter
-          (fun s ->
-            Betweenness.csr_accumulate_from csr ~alive scratch ~node_bc:scratch_node_bc
-              ~edge_bc s)
-          srcs
+        rescore side_a;
+        rescore side_b
   in
   let best_edge () =
     Rca_obs.Obs.incr ~by:m "gn.argmax_arcs_scanned";
@@ -311,13 +481,12 @@ let incremental_driver ?approx ?pool g =
         Array.iter (fun x -> comp.(x) <- c') reached_v;
         Hashtbl.replace members c reached_u;
         Hashtbl.replace members c' reached_v;
-        recompute reached_u;
-        recompute reached_v
+        rescore_split reached_u reached_v
       end
       else
         (* still one component (or a self-loop): refresh its scores;
            every other component's cache is untouched *)
-        recompute (Hashtbl.find members c)
+        rescore (Hashtbl.find members c)
     end
   in
   let current () =
@@ -371,13 +540,18 @@ let gn_span name engine f =
       ])
     f
 
-let girvan_newman_step ?approx ?pool ?max_removals g =
-  gn_span "gn.step" "incremental" (fun () ->
-      gn_step_with (incremental_driver ?approx ?pool g) ?max_removals ())
+let incremental_engine_name = function
+  | Some _ -> "incremental-adaptive"
+  | None -> "incremental"
 
-let girvan_newman ?approx ?pool ?max_removals ~target g =
-  gn_span "gn.run" "incremental" (fun () ->
-      gn_target_with (incremental_driver ?approx ?pool g) ?max_removals ~target ())
+let girvan_newman_step ?approx ?adaptive ?pool ?max_removals g =
+  gn_span "gn.step" (incremental_engine_name adaptive) (fun () ->
+      gn_step_with (incremental_driver ?approx ?adaptive ?pool g) ?max_removals ())
+
+let girvan_newman ?approx ?adaptive ?pool ?max_removals ~target g =
+  gn_span "gn.run" (incremental_engine_name adaptive) (fun () ->
+      gn_target_with (incremental_driver ?approx ?adaptive ?pool g) ?max_removals ~target
+        ())
 
 let girvan_newman_step_reference ?approx ?pool ?max_removals g =
   gn_span "gn.step" "reference" (fun () ->
@@ -575,6 +749,256 @@ let compact labels =
           c')
     labels
   |> fun l -> (l, Hashtbl.length remap)
+
+(* --- modularity-greedy agglomeration on the masked CSR -------------------- *)
+
+(* A deterministic Louvain/Leiden-style engine built for the masked
+   refinement pipeline: level 0 runs directly over a frozen CSR plus a
+   node-alive mask (no induced subgraph, no hashtables on the hot path),
+   coarser levels over small explicit weighted graphs, and a final
+   Leiden-flavoured local-move sweep back at level 0 lets individual
+   nodes correct memberships the coarse levels locked in.
+
+   Where [louvain] above relies on [Hashtbl.iter] order to break gain
+   ties, this engine's tie-breaking is explicit: nodes are visited in
+   ascending id order, a node's candidate communities are compared by
+   gain with an epsilon guard, equal gains keep the smaller community
+   id, and a move happens only when the best candidate strictly beats
+   staying put.  Moves therefore increase modularity monotonically —
+   the final partition's Q can never drop below the trivial all-singleton
+   partition it starts from — and the whole computation is a pure
+   function of the graph: no RNG, no pool, no iteration-order hazards. *)
+
+let greedy_eps = 1e-12
+
+(* One greedy local-move phase over an abstract weighted graph:
+   [iter_nbrs v f] presents each distinct neighbour [u <> v] once with
+   its edge weight, in a fixed order; [deg] is the weighted degree
+   (2*self + adjacent weight); [labels] seeds the assignment (identity
+   for a fresh level, the flat labels for the final refinement sweep)
+   and is updated in place.  Returns whether any move happened. *)
+let greedy_local_phase ~n ~iter_nbrs ~deg ~m2 labels =
+  let comm_tot = Array.make n 0.0 in
+  Array.iteri (fun v c -> comm_tot.(c) <- comm_tot.(c) +. deg.(v)) labels;
+  let neigh_w = Array.make n 0.0 in
+  let neigh_stamp = Array.make n (-1) in
+  let neigh_comms = Array.make n 0 in
+  let gen = ref 0 in
+  let moved = ref false in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < 32 do
+    improved := false;
+    incr sweeps;
+    for v = 0 to n - 1 do
+      incr gen;
+      let g = !gen in
+      let nn = ref 0 in
+      iter_nbrs v (fun u w ->
+          let c = labels.(u) in
+          if neigh_stamp.(c) <> g then begin
+            neigh_stamp.(c) <- g;
+            neigh_w.(c) <- w;
+            neigh_comms.(!nn) <- c;
+            incr nn
+          end
+          else neigh_w.(c) <- neigh_w.(c) +. w);
+      let cv = labels.(v) in
+      comm_tot.(cv) <- comm_tot.(cv) -. deg.(v);
+      let w_cv = if neigh_stamp.(cv) = g then neigh_w.(cv) else 0.0 in
+      let stay = w_cv -. (comm_tot.(cv) *. deg.(v) /. m2) in
+      let best_c = ref (-1) in
+      let best_gain = ref neg_infinity in
+      for i = 0 to !nn - 1 do
+        let c = neigh_comms.(i) in
+        if c <> cv then begin
+          let gain = neigh_w.(c) -. (comm_tot.(c) *. deg.(v) /. m2) in
+          if
+            gain > !best_gain +. greedy_eps
+            || (c < !best_c && gain >= !best_gain -. greedy_eps)
+          then begin
+            best_c := c;
+            best_gain := gain
+          end
+        end
+      done;
+      if !best_c >= 0 && !best_gain > stay +. greedy_eps then begin
+        labels.(v) <- !best_c;
+        comm_tot.(!best_c) <- comm_tot.(!best_c) +. deg.(v);
+        moved := true;
+        improved := true
+      end
+      else comm_tot.(cv) <- comm_tot.(cv) +. deg.(v)
+    done
+  done;
+  !moved
+
+(* Coarse levels: small explicit weighted graphs with sorted adjacency
+   (the deterministic contraction of the level below). *)
+type cgraph = {
+  cn : int;
+  cnbr : int array array;  (* distinct neighbour ids, ascending *)
+  cwgt : float array array;
+  cself : float array;
+}
+
+let greedy_contract ~n ~iter_nbrs ~self ~labels ~k =
+  let members = Array.make k [] in
+  for v = n - 1 downto 0 do
+    members.(labels.(v)) <- v :: members.(labels.(v))
+  done;
+  let cself = Array.make k 0.0 in
+  let nbr_w = Array.make k 0.0 in
+  let nbr_stamp = Array.make k (-1) in
+  let nbr_ids = Array.make k 0 in
+  let cnbr = Array.make k [||] in
+  let cwgt = Array.make k [||] in
+  for c = 0 to k - 1 do
+    let nn = ref 0 in
+    List.iter
+      (fun v ->
+        cself.(c) <- cself.(c) +. self.(v);
+        iter_nbrs v (fun u w ->
+            let cu = labels.(u) in
+            if cu = c then begin
+              (* internal edge: both endpoints iterate it; count it once
+                 (at the lower-id endpoint) as coarse self weight *)
+              if v < u then cself.(c) <- cself.(c) +. w
+            end
+            else if nbr_stamp.(cu) <> c then begin
+              nbr_stamp.(cu) <- c;
+              nbr_w.(cu) <- w;
+              nbr_ids.(!nn) <- cu;
+              incr nn
+            end
+            else nbr_w.(cu) <- nbr_w.(cu) +. w))
+      members.(c);
+    let ids = Array.sub nbr_ids 0 !nn in
+    Array.sort compare ids;
+    cnbr.(c) <- ids;
+    cwgt.(c) <- Array.map (fun u -> nbr_w.(u)) ids
+  done;
+  { cn = k; cnbr; cwgt; cself }
+
+(* The masked-CSR entry: partition the subgraph induced on the alive
+   nodes of [csr] (with [rev] its transpose, e.g. a [Frozen.t]'s two
+   halves) and return the communities as lists of *parent* node ids,
+   largest first.  Level 0 reads neighbourhoods as the deduplicated
+   union of out- and in-arcs restricted to alive endpoints — exactly
+   the symmetrized weight-1 view every other partitioner here uses —
+   without materializing anything. *)
+let modularity_greedy_masked ?(max_levels = 12) (csr : Csr.t) (rev : Csr.t) ~alive =
+  let verts = Array.of_list (Csr.mask_to_list alive) in
+  let na = Array.length verts in
+  if na = 0 then []
+  else begin
+    Rca_obs.Obs.span' "greedy.partition"
+      (fun comms ->
+        [
+          ("nodes", Rca_obs.Obs.Int na);
+          ("communities", Rca_obs.Obs.Int (List.length comms));
+        ])
+    @@ fun () ->
+    let dense = Array.make csr.Csr.n (-1) in
+    Array.iteri (fun i v -> dense.(v) <- i) verts;
+    let row = csr.Csr.row and col = csr.Csr.col in
+    let rrow = rev.Csr.row and rcol = rev.Csr.col in
+    let seen_stamp = Array.make na (-1) in
+    let seen_gen = ref 0 in
+    let iter_nbrs0 i f =
+      incr seen_gen;
+      let g = !seen_gen in
+      let u = verts.(i) in
+      let visit v =
+        if v <> u && Csr.mask_mem alive v then begin
+          let j = dense.(v) in
+          if seen_stamp.(j) <> g then begin
+            seen_stamp.(j) <- g;
+            f j 1.0
+          end
+        end
+      in
+      for a = row.(u) to row.(u + 1) - 1 do
+        visit col.(a)
+      done;
+      for a = rrow.(u) to rrow.(u + 1) - 1 do
+        visit rcol.(a)
+      done
+    in
+    let self0 = Array.make na 0.0 in
+    let deg0 = Array.make na 0.0 in
+    let half_edges = ref 0 in
+    for i = 0 to na - 1 do
+      let u = verts.(i) in
+      for a = row.(u) to row.(u + 1) - 1 do
+        if col.(a) = u then self0.(i) <- 1.0
+      done;
+      let nbrs = ref 0 in
+      iter_nbrs0 i (fun _ _ -> incr nbrs);
+      deg0.(i) <- (2.0 *. self0.(i)) +. float_of_int !nbrs;
+      half_edges := !half_edges + !nbrs
+    done;
+    let total_w =
+      Array.fold_left ( +. ) 0.0 self0 +. (float_of_int !half_edges /. 2.0)
+    in
+    if total_w = 0.0 then List.map (fun v -> [ v ]) (Array.to_list verts)
+    else begin
+      let m2 = 2.0 *. total_w in
+      let flat = Array.init na (fun i -> i) in
+      let labels0 = Array.init na (fun i -> i) in
+      let moved0 = greedy_local_phase ~n:na ~iter_nbrs:iter_nbrs0 ~deg:deg0 ~m2 labels0 in
+      let levels = ref 1 in
+      if moved0 then begin
+        let labels0, k0 = compact labels0 in
+        Array.blit labels0 0 flat 0 na;
+        let cg =
+          ref (greedy_contract ~n:na ~iter_nbrs:iter_nbrs0 ~self:self0 ~labels:labels0 ~k:k0)
+        in
+        let continue_ = ref true in
+        while !continue_ && !levels < max_levels do
+          incr levels;
+          let g = !cg in
+          let iter_nbrs v f =
+            let ids = g.cnbr.(v) and ws = g.cwgt.(v) in
+            for x = 0 to Array.length ids - 1 do
+              f ids.(x) ws.(x)
+            done
+          in
+          let deg =
+            Array.init g.cn (fun v ->
+                (2.0 *. g.cself.(v)) +. Array.fold_left ( +. ) 0.0 g.cwgt.(v))
+          in
+          let labels = Array.init g.cn (fun i -> i) in
+          let moved = greedy_local_phase ~n:g.cn ~iter_nbrs ~deg ~m2 labels in
+          if not moved then continue_ := false
+          else begin
+            let labels, k = compact labels in
+            for i = 0 to na - 1 do
+              flat.(i) <- labels.(flat.(i))
+            done;
+            cg := greedy_contract ~n:g.cn ~iter_nbrs ~self:g.cself ~labels ~k
+          end
+        done
+      end;
+      (* Leiden-flavoured refinement: one more level-0 local-move phase
+         seeded with the coarse assignment (still monotone in Q) *)
+      ignore (greedy_local_phase ~n:na ~iter_nbrs:iter_nbrs0 ~deg:deg0 ~m2 flat);
+      Rca_obs.Obs.incr ~by:!levels "greedy.levels";
+      let flat, k = compact flat in
+      let p = partition_of_labels flat k in
+      List.map (List.map (fun i -> verts.(i))) p.communities
+    end
+  end
+
+(* Digraph entry (tests, quality scoring, non-frozen callers): same
+   engine over a fresh CSR of the graph with every node alive. *)
+let modularity_greedy ?max_levels g =
+  let csr = Csr.of_digraph g in
+  let rev = Csr.transpose csr in
+  let comms = modularity_greedy_masked ?max_levels csr rev ~alive:(Csr.full_mask csr) in
+  let labels = Array.make (Digraph.n g) 0 in
+  List.iteri (fun c comm -> List.iter (fun v -> labels.(v) <- c) comm) comms;
+  partition_of_labels labels (List.length comms)
 
 let louvain ?(max_levels = 10) g =
   let n = Digraph.n g in

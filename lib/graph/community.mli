@@ -36,8 +36,28 @@ type gn_step = {
   removed_edges : (int * int) list;
 }
 
+type adaptive = {
+  ad_epsilon : float;  (** stop when the bound reaches this relative error *)
+  ad_delta : float;  (** failure probability budget for the bound *)
+  ad_seed : int;  (** source-shuffle seed (mixed with component identity) *)
+  ad_min_samples : int;  (** first batch size; sample count doubles from here *)
+}
+(** Adaptive source-sampled Brandes: grow the sampled-source count until a
+    Hoeffding-style bound separates the argmax edge (or certifies every
+    edge within [ad_epsilon] of it), falling back to the exact engine when
+    sampling cannot beat just using every source.  See
+    {!girvan_newman_step}'s [?adaptive]. *)
+
+val default_adaptive : adaptive
+(** [epsilon = 0.1], [delta = 0.1], [seed = 0x5eed], [min_samples = 64]. *)
+
 val girvan_newman_step :
-  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> Digraph.t -> gn_step
+  ?approx:int ->
+  ?adaptive:adaptive ->
+  ?pool:Pool.t ->
+  ?max_removals:int ->
+  Digraph.t ->
+  gn_step
 (** One Girvan–Newman iteration on a symmetrized copy: remove
     top-betweenness edges until the weak component count increases.
     [max_removals] bounds the work; [pool] parallelizes each betweenness
@@ -53,10 +73,19 @@ val girvan_newman_step :
     pool. *)
 
 val girvan_newman :
-  ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> target:int -> Digraph.t -> gn_step
+  ?approx:int ->
+  ?adaptive:adaptive ->
+  ?pool:Pool.t ->
+  ?max_removals:int ->
+  target:int ->
+  Digraph.t ->
+  gn_step
 (** Iterate until at least [target] communities exist (or edges run
     out), on the same incremental engine; [removed_edges] lists the cut
-    sequence in order. *)
+    sequence in order.  [adaptive] switches each component rescore to
+    sampled Brandes with the Hoeffding stop rule — removal sequences may
+    then differ from the exact engine (judge the result with
+    {!Quality}), but tiny components still compute exactly. *)
 
 val girvan_newman_step_reference :
   ?approx:int -> ?pool:Pool.t -> ?max_removals:int -> Digraph.t -> gn_step
@@ -76,6 +105,23 @@ val louvain : ?max_levels:int -> Digraph.t -> partition
 (** Louvain modularity optimization (Blondel et al. 2008) on the
     symmetrized view: greedy local moves plus community contraction,
     repeated until modularity stops improving.  Deterministic. *)
+
+val modularity_greedy : ?max_levels:int -> Digraph.t -> partition
+(** Deterministic modularity-greedy agglomeration (Louvain-style local
+    moves + contraction, plus a final Leiden-flavoured level-0 refinement
+    sweep).  Unlike {!louvain} its tie-breaking is explicit — ascending
+    node order, equal gains keep the smaller community id — so the result
+    is a pure function of the graph, independent of hashing or pool size.
+    Modularity is monotone from the all-singleton start, so the returned
+    partition's [Q] is never below the trivial partition's. *)
+
+val modularity_greedy_masked :
+  ?max_levels:int -> Csr.t -> Csr.t -> alive:Csr.mask -> int list list
+(** {!modularity_greedy} run directly on a frozen CSR and its transpose
+    restricted to the [alive] nodes — no induced subgraph is built.
+    Neighbourhoods are the deduplicated union of out- and in-arcs between
+    alive endpoints (the symmetrized weight-1 view).  Returns communities
+    as lists of parent node ids, largest first. *)
 
 val significant_communities : ?min_size:int -> partition -> int list list
 (** Communities of at least [min_size] (default 3) nodes — Algorithm 5.4

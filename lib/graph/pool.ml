@@ -64,6 +64,13 @@ let create k =
 
 let size t = t.size
 
+(* Requested parallelism clamped to what the machine can actually run
+   concurrently: extra domains on an oversubscribed runtime only add
+   scheduling and barrier overhead (a 4-way pool on a 1-core container
+   was 2-5x *slower* than sequential on the refine bench). *)
+let recommended_size ~requested =
+  max 1 (min requested (Domain.recommended_domain_count ()))
+
 (* Run [body] on the caller and every worker; return once all are done.
    Workers swallow exceptions ([run_chunks] records them itself); the
    caller's exception propagates, but only after the barrier. *)

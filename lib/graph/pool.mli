@@ -19,6 +19,13 @@ val create : int -> t
 val size : t -> int
 (** Ways of parallelism (the [k] given to {!create}, clamped). *)
 
+val recommended_size : requested:int -> int
+(** [requested] clamped to [Domain.recommended_domain_count ()] (and to
+    at least 1): the pool size that can actually run concurrently here.
+    Layers that turn a [--domains] request into a pool use this so an
+    oversubscribed request degrades to what the machine has instead of
+    paying domain-scheduling overhead for no parallelism. *)
+
 val run_chunks : t -> chunks:int -> (int -> 'a) -> 'a array
 (** [run_chunks t ~chunks f] evaluates [f c] for every chunk id
     [0 <= c < chunks] — the caller and all workers steal chunk ids from a

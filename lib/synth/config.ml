@@ -64,6 +64,25 @@ let paper =
     seed = 13432;
   }
 
+(* Scaling-wall scale: ≥10x the paper metagraph (filler module counts
+   10x across every family, same per-module chain length), for the
+   BENCH_scaling trajectory.  Exact incremental Girvan–Newman is already
+   infeasible here — which is the point: only the sampled/greedy
+   detectors make this size partitionable per query. *)
+let huge =
+  {
+    ncol = 24;
+    pver = 6;
+    nsteps = 9;
+    n_extra_physics = 600;
+    n_extra_dynamics = 240;
+    n_utility = 200;
+    n_unused = 700;
+    n_unbuilt = 900;
+    vars_per_filler = 34;
+    seed = 961748927;
+  }
+
 let total_modules c =
   (* 19 core modules + the driver + the filler families *)
   20 + c.n_extra_physics + c.n_extra_dynamics + c.n_utility + c.n_unused + c.n_unbuilt
