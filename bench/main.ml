@@ -6,7 +6,7 @@
 
    Targets: wsubbug randmt goffgratch avx2 avx2full randombug dyn3bug
             table1 table2 fig4 fig10 fig11 ablation micro micro-par gn
-            pipeline refine scaling lint campaign
+            pipeline refine scaling lint serve campaign
 
    Flags: --json PATH     write the `gn`/`pipeline`/`refine`/`scaling`
                           target's telemetry as JSON
@@ -1040,6 +1040,325 @@ let run_campaign_bench ~json ~trace ~domains ~partitioner () =
         exit 1
       end)
 
+(* --- serve: snapshot + query-daemon benchmark ------------------------------------------- *)
+
+(* Compile the small-scale GOFFGRATCH model to a snapshot, verify the
+   load path is >= 50x faster than the full build, fork a daemon over a
+   Unix socket, and drive it: an identity check (a served default query
+   must equal an in-process single-shot pipeline field for field), a
+   cold pass over distinct single-target keys, a warm repeat of the
+   same keys, and a 6-connection stampede on one fresh key to observe
+   request coalescing.  Gates: load speedup >= 50, warm p50 < cold p50,
+   zero protocol errors, identity.  Telemetry goes to BENCH_serve.json
+   (or the --json path). *)
+let run_serve_bench ~json () =
+  hr ();
+  let module Snap = Rca_serve.Snapshot in
+  let module Server = Rca_serve.Server in
+  let module Client = Rca_serve.Client in
+  let module J = Rca_serve.Jsonio in
+  time "serve" (fun () ->
+      let config = Rca_synth.Config.small in
+      let spec = Experiments.goffgratch in
+      let now_ms () = Int64.to_float (Rca_obs.Obs.monotonic_ns ()) /. 1e6 in
+      let timeit f =
+        let t0 = now_ms () in
+        let r = f () in
+        (r, now_ms () -. t0)
+      in
+      (* 1. full build: parse -> coverage -> metagraph -> selection -> freeze *)
+      let (fixture, sel, bug_nodes, frozen), t_build =
+        timeit (fun () ->
+            let fixture = Fixture.make ~inject:spec.Harness.inject config in
+            let p = Harness.default_params config in
+            let sel = Harness.select_affected spec p fixture in
+            let bug_nodes =
+              Fixture.bug_nodes fixture ~canonicals:spec.Harness.bug_canonicals
+            in
+            let frozen = Rca_core.Frozen.freeze fixture.Fixture.mg.MG.graph in
+            (fixture, sel, bug_nodes, frozen))
+      in
+      let mg = fixture.Fixture.mg in
+      let keep_modules =
+        if spec.Harness.restrict_to_cam then
+          Some
+            (Array.to_list mg.MG.node_meta
+            |> List.map (fun nd -> nd.MG.module_)
+            |> List.sort_uniq compare
+            |> List.filter Rca_synth.Outputs.is_cam_module)
+        else None
+      in
+      let snap =
+        {
+          Snap.version = Snap.current_version;
+          fingerprint = "bench-serve small GOFFGRATCH";
+          scale = "small";
+          experiment = spec.Harness.name;
+          mg;
+          frozen;
+          keep_modules;
+          bug_nodes;
+          default_targets = sel.Harness.sel_affected;
+        }
+      in
+      let dir = Filename.temp_file "rca_serve_bench" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      let snap_path = Filename.concat dir "model.rcasnap" in
+      let sock_path = Filename.concat dir "rca.sock" in
+      let (), t_save = timeit (fun () -> Snap.save snap_path snap) in
+      (* 2. timed load vs the full build *)
+      let loaded, t_load =
+        timeit (fun () ->
+            match Snap.load snap_path with
+            | Ok s -> s
+            | Error msg -> failwith ("snapshot load failed: " ^ msg))
+      in
+      let speedup = if t_load > 0.0 then t_build /. t_load else infinity in
+      Printf.printf
+        "snapshot: build %8.1f ms   save %6.1f ms   load %6.1f ms   speedup %.0fx\n%!"
+        t_build t_save t_load speedup;
+      (* 3. fork the daemon over the loaded snapshot *)
+      flush stdout;
+      flush stderr;
+      let child =
+        match Unix.fork () with
+        | 0 ->
+            (try ignore (Server.serve ~cache_capacity:64 (`Unix sock_path) loaded)
+             with _ -> ());
+            Unix._exit 0
+        | pid -> pid
+      in
+      let connect_retry () =
+        let rec go attempts =
+          match Client.connect (`Unix sock_path) with
+          | conn -> conn
+          | exception Unix.Unix_error _ when attempts > 0 ->
+              Unix.sleepf 0.05;
+              go (attempts - 1)
+        in
+        go 100
+      in
+      let conn = connect_retry () in
+      (match Client.request conn (J.Obj [ ("op", J.Str "ping") ]) with
+      | Ok _ -> ()
+      | Error msg -> failwith ("ping failed: " ^ msg));
+      let query fields = Client.request conn (J.Obj (("op", J.Str "query") :: fields)) in
+      let get_reply = function
+        | Ok r ->
+            if J.member "status" r <> Some (J.Str "ok") then
+              failwith ("query error reply: " ^ J.to_string r);
+            r
+        | Error msg -> failwith ("query failed: " ^ msg)
+      in
+      let field_int r name =
+        match Option.bind (J.member name r) J.int_opt with
+        | Some i -> i
+        | None -> failwith ("missing field " ^ name)
+      in
+      let field_str r name =
+        match Option.bind (J.member name r) J.string_opt with
+        | Some s -> s
+        | None -> failwith ("missing field " ^ name)
+      in
+      (* 4. identity: the served default query (gn, the harness's
+         gn_approx) against the in-process single-shot pipeline *)
+      let targets = List.sort_uniq compare sel.Harness.sel_affected in
+      let keep_module =
+        if spec.Harness.restrict_to_cam then Rca_synth.Outputs.is_cam_module
+        else fun _ -> true
+      in
+      let reference =
+        Rca_core.Pipeline.run ~keep_module ~min_cluster:4 ~m_sample:10 ~gn_approx:128
+          ~stop_size:30 mg ~outputs:targets
+          ~detect:(Rca_core.Detector.reachability mg ~bug_nodes)
+      in
+      let ref_result = reference.Rca_core.Pipeline.result in
+      let served =
+        get_reply (query [ ("detector", J.Str "gn"); ("gn_approx", J.num 128) ])
+      in
+      let served_candidates =
+        match Option.bind (J.member "candidates" served) J.list_opt with
+        | None -> failwith "missing candidates"
+        | Some items ->
+            List.map
+              (fun item ->
+                ( field_str item "name",
+                  field_str item "module",
+                  field_str item "subprogram",
+                  field_int item "line" ))
+              items
+      in
+      let served_located =
+        match Option.bind (J.member "located_bugs" served) J.list_opt with
+        | None -> failwith "missing located_bugs"
+        | Some items -> List.filter_map J.string_opt items
+      in
+      let ref_located =
+        Rca_core.Pipeline.located_bugs mg reference ~bug_nodes
+        |> List.map (fun id -> (MG.node mg id).MG.unique)
+      in
+      let identity =
+        field_int served "slice_nodes"
+        = List.length reference.Rca_core.Pipeline.slice.Rca_core.Slice.nodes
+        && field_int served "iterations"
+           = List.length ref_result.Rca_core.Refine.iterations
+        && field_str served "outcome"
+           = Rca_core.Refine.outcome_string ref_result.Rca_core.Refine.outcome
+        && field_int served "final_nodes"
+           = List.length ref_result.Rca_core.Refine.final_nodes
+        && served_candidates = Rca_core.Pipeline.candidates mg reference
+        && served_located = ref_located
+      in
+      Printf.printf "identity vs single-shot pipeline: %b\n%!" identity;
+      (* 5. cold pass: distinct single-target keys, fast detector *)
+      let labels =
+        List.filter
+          (fun e -> Hashtbl.mem mg.MG.io_map e.Rca_synth.Outputs.output)
+          Rca_synth.Outputs.catalogue
+        |> List.map (fun e -> e.Rca_synth.Outputs.output)
+        |> List.sort_uniq compare
+      in
+      let one label =
+        timeit (fun () ->
+            get_reply
+              (query [ ("targets", J.Arr [ J.Str label ]); ("detector", J.Str "greedy") ]))
+      in
+      let cold = List.map (fun l -> snd (one l)) labels in
+      let warm =
+        List.map
+          (fun l ->
+            let r, t = one l in
+            if Option.bind (J.member "cached" r) (function J.Bool b -> Some b | _ -> None)
+               <> Some true
+            then failwith ("warm query not cached: " ^ l);
+            t)
+          labels
+      in
+      let percentile samples p =
+        let arr = Array.of_list samples in
+        Array.sort compare arr;
+        let n = Array.length arr in
+        arr.(min (n - 1) (int_of_float (p *. float_of_int n)))
+      in
+      let cold_p50 = percentile cold 0.5 and cold_p99 = percentile cold 0.99 in
+      let warm_p50 = percentile warm 0.5 and warm_p99 = percentile warm 0.99 in
+      let qps samples =
+        float_of_int (List.length samples) /. (List.fold_left ( +. ) 0.0 samples /. 1e3)
+      in
+      Printf.printf
+        "traffic: %d keys   cold p50 %8.2f ms  p99 %8.2f ms  (%.0f q/s)\n\
+        \                   warm p50 %8.2f ms  p99 %8.2f ms  (%.0f q/s)\n%!"
+        (List.length labels) cold_p50 cold_p99 (qps cold) warm_p50 warm_p99 (qps warm);
+      (* 6. stampede: fill the daemon with a slow exact-GN query, then
+         burst one fresh key over 6 connections so the whole burst is
+         drained in a single select round and coalesces *)
+      let burst_targets =
+        match labels with a :: b :: _ -> [ a; b ] | _ -> targets
+      in
+      let blocker = connect_retry () in
+      let burst_conns = List.init 6 (fun _ -> connect_retry ()) in
+      Client.send blocker
+        (J.Obj [ ("op", J.Str "query"); ("detector", J.Str "gn") ]);
+      Unix.sleepf 0.05;
+      List.iter
+        (fun c ->
+          Client.send c
+            (J.Obj
+               [
+                 ("op", J.Str "query");
+                 ("targets", J.Arr (List.map (fun l -> J.Str l) burst_targets));
+                 ("detector", J.Str "greedy");
+               ]))
+        burst_conns;
+      (match Client.recv blocker with
+      | Ok _ -> ()
+      | Error msg -> failwith ("blocker query failed: " ^ msg));
+      let coalesced_replies =
+        List.map
+          (fun c ->
+            match Client.recv c with
+            | Ok r ->
+                if J.member "status" r <> Some (J.Str "ok") then
+                  failwith ("burst error reply: " ^ J.to_string r);
+                J.member "coalesced" r = Some (J.Bool true)
+            | Error msg -> failwith ("burst query failed: " ^ msg))
+          burst_conns
+      in
+      let n_coalesced = List.length (List.filter Fun.id coalesced_replies) in
+      Printf.printf "stampede: 6 connections, %d coalesced\n%!" n_coalesced;
+      List.iter Client.close (blocker :: burst_conns);
+      (* 7. stats, shutdown, join *)
+      let stats =
+        match Client.request conn (J.Obj [ ("op", J.Str "stats") ]) with
+        | Ok r -> r
+        | Error msg -> failwith ("stats failed: " ^ msg)
+      in
+      let errors = field_int stats "errors" in
+      let cache_hits = field_int stats "cache_hits" in
+      let served_total = field_int stats "served" in
+      ignore (Client.request conn (J.Obj [ ("op", J.Str "shutdown") ]));
+      Client.close conn;
+      ignore (Unix.waitpid [] child);
+      Printf.printf "daemon: served %d, errors %d, cache hits %d\n%!" served_total errors
+        cache_hits;
+      (* gates *)
+      let gates =
+        [
+          ("load_speedup_ge_50", speedup >= 50.0);
+          ("warm_p50_lt_cold_p50", warm_p50 < cold_p50);
+          ("zero_protocol_errors", errors = 0);
+          ("served_identical_to_single_shot", identity);
+          ("stampede_coalesced", n_coalesced >= 1);
+        ]
+      in
+      List.iter
+        (fun (name, cond) ->
+          Printf.printf "  gate %-36s %s\n%!" name (if cond then "PASS" else "FAIL"))
+        gates;
+      let path = Option.value ~default:"BENCH_serve.json" json in
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"serve\",\n\
+        \  \"scale\": \"small\",\n\
+        \  \"experiment\": \"%s\",\n\
+        \  \"build_ms\": %.3f,\n\
+        \  \"save_ms\": %.3f,\n\
+        \  \"load_ms\": %.3f,\n\
+        \  \"load_speedup\": %.1f,\n\
+        \  \"keys\": %d,\n\
+        \  \"cold_p50_ms\": %.3f,\n\
+        \  \"cold_p99_ms\": %.3f,\n\
+        \  \"warm_p50_ms\": %.3f,\n\
+        \  \"warm_p99_ms\": %.3f,\n\
+        \  \"cold_qps\": %.1f,\n\
+        \  \"warm_qps\": %.1f,\n\
+        \  \"stampede_coalesced\": %d,\n\
+        \  \"served\": %d,\n\
+        \  \"errors\": %d,\n\
+        \  \"cache_hits\": %d,\n\
+        \  \"identity\": %b,\n\
+        \  \"gates\": {\n%s\n  }\n}\n"
+        (json_escape spec.Harness.name) t_build t_save t_load speedup
+        (List.length labels) cold_p50 cold_p99 warm_p50 warm_p99 (qps cold) (qps warm)
+        n_coalesced served_total errors cache_hits identity
+        (String.concat ",\n"
+           (List.map
+              (fun (name, cond) -> Printf.sprintf {|    "%s": %b|} (json_escape name) cond)
+              gates));
+      close_out oc;
+      Printf.printf "  telemetry written to %s\n%!" path;
+      (try
+         Sys.remove snap_path;
+         if Sys.file_exists sock_path then Sys.remove sock_path;
+         Unix.rmdir dir
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      if List.exists (fun (_, cond) -> not cond) gates then begin
+        Printf.eprintf "serve bench: a gate failed\n";
+        exit 1
+      end)
+
 (* --- driver ---------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -1067,6 +1386,7 @@ let run_target ~json ~trace ~domains ~partitioner = function
   | "refine" -> run_refine_bench ~json ~trace ~domains ~partitioner ()
   | "scaling" -> run_scaling_bench ~json ~domains ()
   | "lint" -> run_lint_bench ~json ()
+  | "serve" -> run_serve_bench ~json ()
   | "campaign" -> run_campaign_bench ~json ~trace ~domains ~partitioner ()
   | name -> (
       match List.assoc_opt name all_experiments with

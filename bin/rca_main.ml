@@ -5,6 +5,9 @@
      stats        build-filter, coverage and metagraph statistics
      modules      module ranking by quotient-graph centrality (Section 6.5)
      experiment   run one of the six experiments end to end (Section 6)
+     compile      persist the built model as a binary snapshot
+     serve        query daemon over a loaded snapshot (line JSON protocol)
+     query        one-shot client for a running serve daemon
      table1       selective AVX2/FMA disablement (Table 1)
      table2       selected outputs and internal counterparts (Table 2)
      figures      degree-distribution and centrality figure data (Figs 4-11) *)
@@ -420,6 +423,254 @@ let campaign_cmd =
       $ detector_arg $ domains_arg $ trace_arg $ scorecard_arg $ min_precision_arg
       $ max_crashed_arg)
 
+(* --- compile / serve / query -------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Loopback TCP port (overrides $(b,--socket)).")
+
+let addr_of ~socket ~port : Rca_serve.Server.addr =
+  match port with
+  | Some p -> `Tcp p
+  | None -> `Unix (Option.value ~default:"rca.sock" socket)
+
+let ms_between t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e6
+
+let compile_cmd =
+  let run config experiment members output =
+    let now () = Rca_obs.Obs.monotonic_ns () in
+    let t0 = now () in
+    let build spec_opt =
+      match spec_opt with
+      | None ->
+          let fixture = Fixture.make config in
+          (fixture, "", None, [], [])
+      | Some spec ->
+          let fixture = Fixture.make ~inject:spec.Harness.inject config in
+          let p =
+            { (Harness.default_params config) with Harness.ensemble_members = members }
+          in
+          (* the same selection machinery a single-shot run uses, so a
+             served default query answers exactly what `rca_main
+             experiment` would *)
+          let sel = Harness.select_affected spec p fixture in
+          let bug_nodes = Fixture.bug_nodes fixture ~canonicals:spec.Harness.bug_canonicals in
+          let keep_modules =
+            if spec.Harness.restrict_to_cam then
+              Some
+                (Array.to_list fixture.Fixture.mg.Rca_metagraph.Metagraph.node_meta
+                |> List.map (fun nd -> nd.Rca_metagraph.Metagraph.module_)
+                |> List.sort_uniq compare
+                |> List.filter Rca_synth.Outputs.is_cam_module)
+            else None
+          in
+          (fixture, spec.Harness.name, keep_modules, bug_nodes, sel.Harness.sel_affected)
+    in
+    let spec_opt =
+      match experiment with
+      | None -> Ok None
+      | Some name -> (
+          match Experiments.find name with
+          | Some spec -> Ok (Some spec)
+          | None -> Error name)
+    in
+    match spec_opt with
+    | Error name ->
+        Printf.eprintf "unknown experiment %S\n" name;
+        1
+    | Ok spec_opt ->
+        let fixture, exp_name, keep_modules, bug_nodes, default_targets = build spec_opt in
+        let t_build = ms_between t0 (now ()) in
+        let mg = fixture.Fixture.mg in
+        let snap =
+          {
+            Rca_serve.Snapshot.version = Rca_serve.Snapshot.current_version;
+            fingerprint =
+              Printf.sprintf "climate-rca scale=%s experiment=%s nodes=%d edges=%d"
+                (scale_label config) exp_name
+                (Rca_metagraph.Metagraph.n_nodes mg)
+                (Rca_graph.Digraph.m mg.Rca_metagraph.Metagraph.graph);
+            scale = scale_label config;
+            experiment = exp_name;
+            mg;
+            frozen = Rca_core.Frozen.freeze mg.Rca_metagraph.Metagraph.graph;
+            keep_modules;
+            bug_nodes;
+            default_targets;
+          }
+        in
+        let t1 = now () in
+        Rca_serve.Snapshot.save output snap;
+        let t_save = ms_between t1 (now ()) in
+        let t2 = now () in
+        (match Rca_serve.Snapshot.load output with
+        | Error msg ->
+            Printf.eprintf "verification reload failed: %s\n" msg;
+            exit 1
+        | Ok _ -> ());
+        let t_load = ms_between t2 (now ()) in
+        Printf.printf "compiled %s to %s\n" snap.Rca_serve.Snapshot.fingerprint output;
+        if default_targets <> [] then
+          Printf.printf "default targets: %s\n" (String.concat ", " default_targets);
+        Printf.printf "build %.1f ms, save %.1f ms, load %.1f ms (load speedup %.0fx)\n"
+          t_build t_save t_load
+          (if t_load > 0.0 then t_build /. t_load else Float.infinity);
+        0
+  in
+  let experiment_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "experiment" ] ~docv:"NAME"
+          ~doc:
+            "Bake an experiment's context into the snapshot: run discrepancy detection \
+             and variable selection to fix the default query targets, record the \
+             injected bug nodes for the simulated sampling detector, and store the \
+             module restriction.  Without it the snapshot has no defaults and queries \
+             must name targets.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt string "model.rcasnap"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Snapshot file to write.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Build the model once and persist it as a versioned, checksummed binary \
+          snapshot that $(b,rca_main serve) loads in milliseconds.  Results computed \
+          from a loaded snapshot are byte-identical to a fresh build.")
+    Term.(const run $ scale_arg $ experiment_arg $ members_arg $ output_arg)
+
+let serve_cmd =
+  let run snapshot socket port cache domains =
+    match Rca_serve.Snapshot.load snapshot with
+    | Error msg ->
+        Printf.eprintf "cannot load %s: %s\n" snapshot msg;
+        1
+    | Ok snap ->
+        let addr = addr_of ~socket ~port in
+        let where =
+          match addr with
+          | `Unix path -> Printf.sprintf "unix:%s" path
+          | `Tcp p -> Printf.sprintf "tcp:127.0.0.1:%d" p
+        in
+        Printf.printf "serving %s on %s (cache %d, domains %d)\n%!"
+          snap.Rca_serve.Snapshot.fingerprint where cache domains;
+        let stats =
+          Rca_serve.Server.serve ~cache_capacity:cache ~domains addr snap
+        in
+        Printf.printf
+          "served %d (errors %d, cache hits %d, misses %d, coalesced %d)\n"
+          stats.Rca_serve.Server.served stats.Rca_serve.Server.errors
+          stats.Rca_serve.Server.cache_hits stats.Rca_serve.Server.cache_misses
+          stats.Rca_serve.Server.coalesced;
+        0
+  in
+  let snapshot_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file from $(b,rca_main compile).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N" ~doc:"LRU capacity for cached query answers.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a compiled snapshot over a line-delimited JSON protocol (Unix socket by \
+          default, TCP with $(b,--port)).  One immutable model is shared across all \
+          requests; answers are cached and identical concurrent requests coalesce onto \
+          one computation.  Runs until a shutdown request.")
+    Term.(const run $ snapshot_arg $ socket_arg $ port_arg $ cache_arg $ domains_arg)
+
+let query_cmd =
+  let run socket port op targets detector engine gn_approx =
+    let addr = addr_of ~socket ~port in
+    match Rca_serve.Client.connect addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
+        1
+    | conn ->
+        let module J = Rca_serve.Jsonio in
+        let fields = ref [ ("op", J.Str op) ] in
+        let add k v = fields := !fields @ [ (k, v) ] in
+        (match targets with
+        | None -> ()
+        | Some ts ->
+            add "targets"
+              (J.Arr
+                 (String.split_on_char ',' ts
+                 |> List.filter_map (fun s ->
+                        let s = String.trim s in
+                        if s = "" then None else Some (J.Str s)))));
+        Option.iter (fun d -> add "detector" (J.Str d)) detector;
+        Option.iter (fun e -> add "engine" (J.Str e)) engine;
+        Option.iter (fun g -> add "gn_approx" (J.num g)) gn_approx;
+        let outcome =
+          match Rca_serve.Client.request conn (J.Obj !fields) with
+          | Ok reply ->
+              print_endline (J.to_string reply);
+              if J.member "status" reply = Some (J.Str "ok") then 0 else 1
+          | Error msg ->
+              Printf.eprintf "request failed: %s\n" msg;
+              1
+        in
+        Rca_serve.Client.close conn;
+        outcome
+  in
+  let op_arg =
+    Arg.(
+      value & opt string "query"
+      & info [ "op" ] ~docv:"OP" ~doc:"Operation: query, ping, stats or shutdown.")
+  in
+  let targets_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "targets" ] ~docv:"A,B"
+          ~doc:
+            "Comma-separated output labels to slice on (default: the snapshot's \
+             compiled-in targets).")
+  in
+  let detector_name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "detector" ] ~docv:"NAME" ~doc:"Community detector (gn|gn-adaptive|greedy|louvain|lp).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"Node-set engine: masked or list.")
+  in
+  let gn_approx_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gn-approx" ] ~docv:"K"
+          ~doc:"Approximate Girvan-Newman betweenness with $(docv) pivot sources.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running $(b,rca_main serve) daemon and print the reply.")
+    Term.(
+      const run $ socket_arg $ port_arg $ op_arg $ targets_arg $ detector_name_arg
+      $ engine_arg $ gn_approx_arg)
+
 (* --- table1 ------------------------------------------------------------------------ *)
 
 let table1_cmd =
@@ -479,7 +730,7 @@ let main_cmd =
        ~doc:"Root cause analysis for large Fortran code bases (HPDC'19 reproduction)")
     [
       generate_cmd; stats_cmd; modules_cmd; lint_cmd; experiment_cmd; campaign_cmd;
-      table1_cmd; table2_cmd; figures_cmd;
+      compile_cmd; serve_cmd; query_cmd; table1_cmd; table2_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -27,6 +27,10 @@ let freeze g =
   let csr = G.Csr.of_digraph g in
   { csr; rev = G.Csr.transpose csr }
 
+(* Wrap an already-materialized CSR (a snapshot loader's, typically):
+   same transpose construction as [freeze], no digraph walk. *)
+let of_csr csr = { csr; rev = G.Csr.transpose csr }
+
 let n t = t.csr.G.Csr.n
 
 let mask_of_list t nodes = G.Csr.mask_of_list t.csr nodes

@@ -20,6 +20,11 @@ type t = {
 val freeze : G.Digraph.t -> t
 (** Snapshot the graph once ([frozen.freeze] span); O(n + m). *)
 
+val of_csr : G.Csr.t -> t
+(** Wrap an already-materialized CSR (e.g. one a snapshot loader rebuilt
+    with {!Rca_graph.Csr.of_rows}); the transpose is computed exactly as
+    {!freeze} would. *)
+
 val n : t -> int
 
 val mask_of_list : t -> int list -> G.Csr.mask

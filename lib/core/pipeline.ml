@@ -23,7 +23,8 @@ type t = {
    rebuilds) — kept as the differential reference for `bench refine`. *)
 let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations ?stop_size
     ?gn_approx ?partitioner ?choose_when_stuck ?domains ?pool ?(static_dead = [])
-    ?(engine = (`Masked : Refine.engine)) (mg : MG.t) ~outputs ~detect : t =
+    ?(engine = (`Masked : Refine.engine)) ?frozen:frozen_arg (mg : MG.t) ~outputs ~detect :
+    t =
   Rca_obs.Obs.span' "pipeline.run"
     (fun t ->
       [
@@ -35,7 +36,10 @@ let run ?keep_module ?(min_cluster = 4) ?m_sample ?min_community ?max_iterations
       ])
   @@ fun () ->
   let frozen =
-    match engine with `Masked -> Some (Frozen.freeze mg.MG.graph) | `List -> None
+    match (engine, frozen_arg) with
+    | `Masked, Some fz -> Some fz  (* caller's snapshot (e.g. a loaded one), shared across runs *)
+    | `Masked, None -> Some (Frozen.freeze mg.MG.graph)
+    | `List, _ -> None
   in
   (* Static dead-node pruning: drop edges incident to statically-dead
      nodes before slicing.  Observational safety is enforced here, not

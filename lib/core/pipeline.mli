@@ -23,6 +23,7 @@ val run :
   ?pool:Rca_graph.Pool.t ->
   ?static_dead:int list ->
   ?engine:Refine.engine ->
+  ?frozen:Frozen.t ->
   MG.t ->
   outputs:string list ->
   detect:Detector.t ->
@@ -50,7 +51,11 @@ val run :
     metagraph into one {!Frozen.t} CSR here and expresses static
     pruning, module restriction and every refinement removal as
     node-alive mask flips; [`List] runs the materializing reference
-    path.  Both engines produce bit-identical results. *)
+    path.  Both engines produce bit-identical results.  [frozen]
+    (masked engine only) supplies an existing snapshot of [mg]'s graph —
+    a query server loads one from disk once and shares it across every
+    request — instead of freezing here; the caller must guarantee it
+    matches [mg]. *)
 
 val name_of : MG.t -> int -> string
 val describe_nodes : MG.t -> int list -> string list

@@ -97,8 +97,18 @@ let choose_affected ~median_selected ~lasso_selected ~selection_target =
       if lasso_names <> [] then lasso_names
       else Rca_stats.Select.names_of (Rca_stats.Select.take selection_target median_selected)
 
-let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
-  let fixture = Fixture.make ~inject:spec.inject p.config in
+(* Steps 1-2 of the workflow (discrepancy detection + variable
+   selection), shared between [run] and [rca_main compile]: a snapshot
+   compiled for the query server must bake in exactly the affected
+   outputs a single-shot run would slice on. *)
+type selection = {
+  sel_ect_verdict : Rca_ect.Ect.verdict;
+  sel_median : Rca_stats.Select.ranked_variable list;
+  sel_lasso : Rca_stats.Select.ranked_variable list;
+  sel_affected : string list;
+}
+
+let select_affected (spec : spec) (p : params) (fixture : Fixture.t) : selection =
   (* 1. detect the discrepancy *)
   let ensemble = Fixture.control_ensemble fixture ~members:p.ensemble_members in
   let ect = Rca_ect.Ect.fit ~var_names:Model.output_names ensemble in
@@ -121,6 +131,20 @@ let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
     choose_affected ~median_selected ~lasso_selected
       ~selection_target:spec.selection_target
   in
+  {
+    sel_ect_verdict = ect_verdict;
+    sel_median = median_selected;
+    sel_lasso = lasso_selected;
+    sel_affected = affected_outputs;
+  }
+
+let run ?(validate_sampling = true) (spec : spec) (p : params) : report =
+  let fixture = Fixture.make ~inject:spec.inject p.config in
+  let sel = select_affected spec p fixture in
+  let ect_verdict = sel.sel_ect_verdict in
+  let median_selected = sel.sel_median in
+  let lasso_selected = sel.sel_lasso in
+  let affected_outputs = sel.sel_affected in
   (* 3. slice + refine with simulated sampling *)
   let bug_nodes = Fixture.bug_nodes fixture ~canonicals:spec.bug_canonicals in
   let keep_module =

@@ -56,7 +56,13 @@ let zero_score = { precision = 0.0; recall = 0.0; f1 = 0.0 }
 
 let score_sets ~expected ~candidates =
   let cands = List.sort_uniq compare candidates in
-  let inter = List.length (List.filter (fun c -> List.mem c expected) cands) in
+  (* membership via a hash set — [List.mem c expected] per candidate was
+     O(|cands| x |expected|), the same bug class Refine/Pipeline already
+     shed; scores are unchanged (recall still divides by the raw
+     [expected] length) *)
+  let expected_set = Hashtbl.create (max 16 (2 * List.length expected)) in
+  List.iter (fun e -> Hashtbl.replace expected_set e ()) expected;
+  let inter = List.length (List.filter (Hashtbl.mem expected_set) cands) in
   let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
   let precision = ratio inter (List.length cands) in
   let recall = ratio inter (List.length expected) in

@@ -485,8 +485,18 @@ let incremental_driver ?approx ?adaptive ?pool g =
       end
       else
         (* still one component (or a self-loop): refresh its scores;
-           every other component's cache is untouched *)
-        rescore (Hashtbl.find members c)
+           every other component's cache is untouched.  A bare find here
+           turned a bookkeeping bug into a process-killing Not_found;
+           fail with the invariant spelled out instead. *)
+        rescore
+          (match Hashtbl.find_opt members c with
+          | Some ms -> ms
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Community.incremental remove: no member list for component %d \
+                    (members table out of sync with comp labels)"
+                   c))
     end
   in
   let current () =

@@ -48,6 +48,26 @@ let of_digraph g =
   assert (!cursor = m);
   { n; m; row; col; src; rev = compute_rev ~m ~col ~src }
 
+(* Rebuild a CSR from serialized row/col arrays (the snapshot loader's
+   path: no digraph walk, just src recomputation and the rev table).
+   Slot order inside each row is whatever the arrays say — for a
+   snapshot that is the original succ-list order, so the result is
+   bitwise identical to [of_digraph] on the original graph. *)
+let of_rows ~row ~col =
+  let n = Array.length row - 1 in
+  if n < 0 then invalid_arg "Csr.of_rows: row array must have length >= 1";
+  let m = Array.length col in
+  if row.(0) <> 0 || row.(n) <> m then invalid_arg "Csr.of_rows: row bounds mismatch";
+  let src = Array.make m 0 in
+  for u = 0 to n - 1 do
+    if row.(u + 1) < row.(u) then invalid_arg "Csr.of_rows: row array not monotone";
+    for i = row.(u) to row.(u + 1) - 1 do
+      if col.(i) < 0 || col.(i) >= n then invalid_arg "Csr.of_rows: col out of range";
+      src.(i) <- u
+    done
+  done;
+  { n; m; row = Array.copy row; col = Array.copy col; src; rev = compute_rev ~m ~col ~src }
+
 let of_digraph_sub g nodes =
   (* Same dedup-preserving-first-occurrence contract as
      Digraph.induced_subgraph, straight into CSR form. *)

@@ -29,6 +29,13 @@ val of_digraph : Digraph.t -> t
 (** Snapshot of the whole graph; arc [i] is the [i]-th edge of
     [Digraph.iter_edges]. *)
 
+val of_rows : row:int array -> col:int array -> t
+(** Rebuild a CSR from its row/col arrays (the snapshot loader's path):
+    [src] and [rev] are recomputed, slot order is taken verbatim, so a
+    round trip through the arrays is bitwise identical to the original.
+    Raises [Invalid_argument] on inconsistent bounds or out-of-range
+    columns. *)
+
 val of_digraph_sub : Digraph.t -> int list -> t * int array
 (** [of_digraph_sub g nodes] is the CSR of the subgraph induced on
     [nodes] (deduplicated, first occurrence wins — the same contract as

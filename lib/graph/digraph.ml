@@ -186,6 +186,51 @@ let induced_subgraph t node_list =
     to_parent;
   { graph = g; to_parent; of_parent }
 
+(* Exact adjacency export/import for snapshot serialization.  Both list
+   orders are load-bearing: add_edge prepends, so neither succ nor pred
+   order is derivable from the other, and downstream bit-identity
+   (kernels walk these lists front to back) depends on reproducing both
+   exactly. *)
+let adjacency t =
+  (Array.init t.n (fun v -> t.succ.(v)), Array.init t.n (fun v -> t.pred.(v)))
+
+let of_adjacency ~n ~succ ~pred =
+  if n < 0 then invalid_arg "Digraph.of_adjacency: negative node count";
+  if Array.length succ <> n || Array.length pred <> n then
+    invalid_arg "Digraph.of_adjacency: adjacency array length mismatch";
+  let edge_set = Hashtbl.create (max 16 (4 * n)) in
+  let m = ref 0 in
+  Array.iteri
+    (fun u vs ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Digraph.of_adjacency: target out of range";
+          if Hashtbl.mem edge_set (u, v) then
+            invalid_arg "Digraph.of_adjacency: duplicate edge";
+          Hashtbl.replace edge_set (u, v) ();
+          incr m)
+        vs)
+    succ;
+  (* pred must be exactly the transpose of succ (same arc multiset) *)
+  let mp = ref 0 in
+  Array.iteri
+    (fun v us ->
+      List.iter
+        (fun u ->
+          if u < 0 || u >= n || not (Hashtbl.mem edge_set (u, v)) then
+            invalid_arg "Digraph.of_adjacency: pred is not the transpose of succ";
+          incr mp)
+        us)
+    pred;
+  if !mp <> !m then invalid_arg "Digraph.of_adjacency: pred is not the transpose of succ";
+  {
+    n;
+    succ = (if n = 0 then [| [] |] else Array.copy succ);
+    pred = (if n = 0 then [| [] |] else Array.copy pred);
+    m = !m;
+    edge_set;
+  }
+
 (* Compose a nested sub-of-sub mapping back to the outermost parent. *)
 let compose_sub outer inner =
   let to_parent = Array.map (fun i -> outer.to_parent.(i)) inner.to_parent in

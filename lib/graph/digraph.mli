@@ -60,6 +60,18 @@ val to_undirected : t -> t
 
 val is_symmetric : t -> bool
 
+val adjacency : t -> int list array * int list array
+(** [(succ, pred)] adjacency lists in their exact stored order — the
+    serialization form for snapshots.  Both orders matter: {!add_edge}
+    prepends, so neither list order is derivable from the other, and
+    kernels walk these lists front to back. *)
+
+val of_adjacency : n:int -> succ:int list array -> pred:int list array -> t
+(** Rebuild a graph from {!adjacency} output, preserving both list
+    orders exactly (the loaded graph is structurally bitwise identical
+    to the saved one).  Raises [Invalid_argument] on out-of-range ids,
+    duplicate edges, or a [pred] that is not the transpose of [succ]. *)
+
 val induced_subgraph : t -> int list -> sub
 (** [induced_subgraph t vs] is the subgraph induced by the (deduplicated)
     node list [vs], densely renumbered, with the id correspondence. *)

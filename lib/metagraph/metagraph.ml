@@ -134,7 +134,15 @@ let build_envs (prog : Ast.program) =
   (* pass 2: imports (no chained use: only names the source module owns) *)
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let env = Hashtbl.find envs mu.Ast.m_name in
+      let env =
+        match Hashtbl.find_opt envs mu.Ast.m_name with
+        | Some env -> env
+        | None ->
+            (* pass 1 inserts every module; a miss means the program list
+               changed between passes — say so instead of Not_found *)
+            invalid_arg
+              ("Metagraph.build_envs: no scope environment for module " ^ mu.Ast.m_name)
+      in
       List.iter
         (fun (u : Ast.use_stmt) ->
           match Hashtbl.find_opt envs u.Ast.u_module with
@@ -513,7 +521,13 @@ let build (prog : Ast.program) : t =
   in
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let env = Hashtbl.find envs mu.Ast.m_name in
+      let env =
+        match Hashtbl.find_opt envs mu.Ast.m_name with
+        | Some env -> env
+        | None ->
+            invalid_arg
+              ("Metagraph.build: no scope environment for module " ^ mu.Ast.m_name)
+      in
       List.iter
         (fun (s : Ast.subprogram) ->
           let locals = Hashtbl.create 32 in

@@ -1,0 +1,19 @@
+/* Monotonic clock for span timing.
+ *
+ * The OCaml distribution's Unix module exposes only gettimeofday (wall
+ * time), which NTP steps can move backwards — fatal for a long-lived
+ * server recording span durations.  CLOCK_MONOTONIC never goes
+ * backwards and is unaffected by clock adjustments.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value rca_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -36,12 +36,16 @@ let events : span_record list ref = ref []  (* newest first *)
 let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
 let gauge_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
 let epoch_us = ref 0.0
+let wall_epoch = ref 0.0  (* Unix epoch us at [enable], for trace anchoring only *)
 
-(* Wall clock in microseconds.  [Unix.gettimeofday] is the only wall
-   clock the OCaml distribution ships; spans are short-lived enough that
-   the (rare) non-monotonic step of a clock adjustment at worst produces
-   one odd duration, never a wrong computation. *)
-let now_us () = Unix.gettimeofday () *. 1e6
+(* Span timing runs on the OS monotonic clock (clock_gettime(CLOCK_MONOTONIC)
+   via a tiny C stub — the distribution's Unix module has no monotonic
+   source).  A long-lived serve daemon records spans for days; wall time
+   is NTP-steppable, which made durations negative or wildly wrong.  The
+   wall clock is kept only to anchor a trace to calendar time. *)
+external monotonic_ns : unit -> int64 = "rca_obs_monotonic_ns"
+
+let now_us () = Int64.to_float (monotonic_ns ()) /. 1e3
 
 let locked f =
   Mutex.lock lock;
@@ -56,7 +60,10 @@ let reset () =
 let enable () =
   reset ();
   epoch_us := now_us ();
+  wall_epoch := Unix.gettimeofday () *. 1e6;
   Atomic.set enabled_flag true
+
+let wall_epoch_us () = !wall_epoch
 
 let disable () = Atomic.set enabled_flag false
 
@@ -167,7 +174,11 @@ let args_json buf args =
 let chrome_trace_json () =
   let evs = spans () in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  (* wallClockStartUs anchors the monotonic timeline to calendar time —
+     the only place wall time appears *)
+  Buffer.add_string buf
+    (Printf.sprintf "{\"displayTimeUnit\":\"ms\",\"wallClockStartUs\":%s,\"traceEvents\":["
+       (float_json !wall_epoch));
   List.iteri
     (fun i ev ->
       if i > 0 then Buffer.add_char buf ',';
@@ -212,7 +223,10 @@ let summary_json () =
   Buffer.add_string buf "{\"spans\":{";
   List.iteri
     (fun i name ->
-      let n, tot, mx = Hashtbl.find agg name in
+      (* [name] comes from folding [agg] itself, but a bare Hashtbl.find
+         on a serve-reachable path is a daemon-killing Not_found waiting
+         for a refactor; default explicitly instead *)
+      let n, tot, mx = Option.value ~default:(0, 0.0, 0.0) (Hashtbl.find_opt agg name) in
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf "\n  \"%s\":{\"count\":%d,\"total_ms\":%s,\"mean_ms\":%s,\"max_ms\":%s}"

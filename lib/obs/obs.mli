@@ -1,7 +1,10 @@
-(** Pipeline-wide tracing and metrics: span-scoped wall-clock timers,
-    named counters and gauges, recorded into one global process-wide
-    buffer and emitted as Chrome trace-event JSON or a flat JSON
-    summary.
+(** Pipeline-wide tracing and metrics: span-scoped monotonic-clock
+    timers, named counters and gauges, recorded into one global
+    process-wide buffer and emitted as Chrome trace-event JSON or a flat
+    JSON summary.  Span timing uses [CLOCK_MONOTONIC] (never stepped by
+    NTP, so durations are always non-negative even in a long-lived
+    server); wall time is recorded once per {!enable} purely to anchor a
+    trace to calendar time.
 
     Everything is a no-op until {!enable}: a disabled {!span} costs one
     atomic load before running its body, a disabled {!incr} one atomic
@@ -22,6 +25,16 @@ type span_record = {
 }
 
 val enabled : unit -> bool
+
+val monotonic_ns : unit -> int64
+(** The OS monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]),
+    nanoseconds from an arbitrary origin.  Never decreases; the time
+    base for every span and for serve-layer latency measurement. *)
+
+val wall_epoch_us : unit -> float
+(** [Unix.gettimeofday] in microseconds, captured at the last {!enable}
+    — the single wall-clock anchor a trace carries
+    ([wallClockStartUs]). *)
 
 val enable : unit -> unit
 (** Clear any recorded data and start recording. *)

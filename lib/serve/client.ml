@@ -1,0 +1,61 @@
+(* Blocking line-protocol client for the query daemon — used by
+   [rca_main query], the serve benchmark and the tests.  One [request]
+   is one written line and one read line; [recv] keeps any bytes read
+   past the newline for the next call. *)
+
+module J = Jsonio
+
+type t = {
+  fd : Unix.file_descr;
+  mutable residue : string;  (* bytes after the last returned line *)
+}
+
+let connect (addr : Server.addr) =
+  match addr with
+  | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      { fd; residue = "" }
+  | `Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      { fd; residue = "" }
+
+let send_line t line =
+  let payload = line ^ "\n" in
+  let bytes = Bytes.of_string payload in
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write t.fd bytes !pos (len - !pos)
+  done
+
+let send t v = send_line t (J.to_string v)
+
+let recv_line t =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match String.index_opt t.residue '\n' with
+    | Some i ->
+        let line = String.sub t.residue 0 i in
+        t.residue <- String.sub t.residue (i + 1) (String.length t.residue - i - 1);
+        Some line
+    | None -> (
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> None  (* server closed mid-line *)
+        | k ->
+            t.residue <- t.residue ^ Bytes.sub_string buf 0 k;
+            go ())
+  in
+  go ()
+
+let recv t =
+  match recv_line t with
+  | None -> Error "connection closed by server"
+  | Some line -> J.of_string line
+
+let request t v =
+  send t v;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,20 @@
+(** Blocking client for the query daemon's line protocol. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Unix.Unix_error] when the daemon is not listening. *)
+
+val send : t -> Jsonio.t -> unit
+val send_line : t -> string -> unit
+
+val recv : t -> (Jsonio.t, string) result
+(** Next response line, parsed.  [Error] on a closed connection or
+    unparseable bytes. *)
+
+val recv_line : t -> string option
+
+val request : t -> Jsonio.t -> (Jsonio.t, string) result
+(** [send] then [recv]. *)
+
+val close : t -> unit

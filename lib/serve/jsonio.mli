@@ -1,0 +1,34 @@
+(** Minimal JSON codec for the serve protocol (line-delimited request /
+    response objects).  Parsing never raises: malformed input comes back
+    as [Error msg] so the server can turn garbage into a protocol-level
+    error reply.  Printing is compact (no whitespace), escapes control
+    characters, and renders integral numbers without a decimal point. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace bytes are an
+    error. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a newline, so a
+    printed value plus ["\n"] is a valid protocol frame). *)
+
+(** {1 Accessors} — shape-checking helpers that return [None] on a
+    type mismatch instead of raising. *)
+
+val member : string -> t -> t option
+(** [member key v] is the field [key] of object [v]. *)
+
+val string_opt : t -> string option
+val int_opt : t -> int option
+val list_opt : t -> t list option
+
+val num : int -> t
+(** [num i] is [Num (float_of_int i)]. *)

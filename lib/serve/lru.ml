@@ -1,0 +1,71 @@
+(* Bounded LRU map for served query results: hash table for O(1) key
+   lookup, intrusive doubly-linked list for O(1) recency maintenance
+   and eviction.  Single-domain only (the server's select loop is
+   single-threaded), so no locking. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* toward most-recent *)
+  mutable next : ('k, 'v) node option;  (* toward least-recent *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable evictions : int;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None; evictions = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+
+let unlink t nd =
+  (match nd.prev with Some p -> p.next <- nd.next | None -> t.head <- nd.next);
+  (match nd.next with Some nx -> nx.prev <- nd.prev | None -> t.tail <- nd.prev);
+  nd.prev <- None;
+  nd.next <- None
+
+let push_front t nd =
+  nd.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some nd | None -> t.tail <- Some nd);
+  t.head <- Some nd
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some nd ->
+      unlink t nd;
+      push_front t nd;
+      Some nd.value
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some nd ->
+      nd.value <- value;
+      unlink t nd;
+      push_front t nd
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.tail with
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key;
+            t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      let nd = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key nd;
+      push_front t nd
+
+let to_list t =
+  let rec go acc nd =
+    match nd with None -> List.rev acc | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,24 @@
+(** Bounded least-recently-used map (hash table + intrusive list): O(1)
+    lookup, promotion and eviction.  Backs the server's slice-result
+    cache; single-domain only. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create capacity]; raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+(** Total entries dropped to make room since [create]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite (either way the entry becomes most recent),
+    evicting the least-recently-used entry when at capacity. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries most-recent first — for stats and tests. *)

@@ -1,0 +1,477 @@
+(* The RCA query daemon: one immutable compiled model (a loaded
+   {!Snapshot.t}), served over a line-delimited JSON protocol on a Unix
+   or TCP socket.
+
+   One request line -> one response line.  Ops:
+
+     {"op":"query","id":7,"targets":["TREFHT"],"detector":"gn",
+      "engine":"masked","gn_approx":128}     -> full pipeline answer
+     {"op":"ping"}                           -> liveness + fingerprint
+     {"op":"stats"}                          -> counters
+     {"op":"shutdown"}                       -> ack, then the loop exits
+
+   The loop is a single-threaded [Unix.select] reactor — no extra
+   domains for connection handling, so every query computes on the
+   caller and results stay deterministic.  Parallelism inside one
+   query comes from the shared domain pool ([~domains] at startup);
+   per-request ["domains"] fields are accepted and ignored so clients
+   can reuse experiment configs verbatim.
+
+   Caching and coalescing: answers are cached in an LRU keyed by the
+   canonical request (sorted-deduped targets + detector + engine +
+   every result-affecting parameter).  Within one select round the
+   loop drains every readable connection and processes the batch in
+   arrival order; the first request computes its key, the rest hit the
+   just-filled cache — those replies are flagged ["coalesced"] so the
+   traffic generator can observe stampede suppression directly.
+
+   Per-request failures (garbage bytes, unknown ops, bad targets, an
+   exception out of the pipeline) become {"status":"error"} replies and
+   an [errors] tick; the daemon itself never dies on request input. *)
+
+module G = Rca_graph
+module MG = Rca_metagraph.Metagraph
+module Core = Rca_core
+module J = Jsonio
+
+type addr = [ `Unix of string | `Tcp of int ]
+
+type stats = {
+  mutable served : int;  (* successful replies, all ops *)
+  mutable errors : int;  (* error replies *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable coalesced : int;  (* cache hits filled earlier in the same batch *)
+}
+
+(* The cacheable part of a query answer — everything except the
+   per-request framing (id, cached/coalesced flags, elapsed time). *)
+type answer = {
+  a_targets : string list;  (* canonical form actually sliced on *)
+  a_detector : string;
+  a_engine : string;
+  a_slice_nodes : int;
+  a_slice_targets : int;
+  a_iterations : int;
+  a_outcome : string;
+  a_final_nodes : int;
+  a_candidates : (string * string * string * int) list;
+  a_located : string list;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* bytes read but not yet terminated by \n *)
+  mutable alive : bool;
+}
+
+type state = {
+  snap : Snapshot.t;
+  detect : Core.Detector.t;  (* reachability, precomputed once *)
+  keep_module : string -> bool;
+  pool : G.Pool.t option;
+  cache : (string, answer) Lru.t;
+  fresh : (string, unit) Hashtbl.t;  (* keys computed in the current batch *)
+  stats : stats;
+  start_ns : int64;
+  mutable running : bool;
+}
+
+let ms_since t0 = Int64.to_float (Int64.sub (Rca_obs.Obs.monotonic_ns ()) t0) /. 1e6
+
+(* --- request decoding ------------------------------------------------------ *)
+
+exception Bad_request of string
+
+let field_string name default v =
+  match J.member name v with
+  | None -> default
+  | Some f -> (
+      match J.string_opt f with
+      | Some s -> s
+      | None -> raise (Bad_request (Printf.sprintf "field %S must be a string" name)))
+
+let field_int name default v =
+  match J.member name v with
+  | None -> default
+  | Some f -> (
+      match J.int_opt f with
+      | Some i -> i
+      | None -> raise (Bad_request (Printf.sprintf "field %S must be an integer" name)))
+
+let field_int_opt name v =
+  match J.member name v with
+  | None -> None
+  | Some J.Null -> None
+  | Some f -> (
+      match J.int_opt f with
+      | Some i -> Some i
+      | None -> raise (Bad_request (Printf.sprintf "field %S must be an integer" name)))
+
+let field_string_list name v =
+  match J.member name v with
+  | None -> []
+  | Some f -> (
+      match J.list_opt f with
+      | None -> raise (Bad_request (Printf.sprintf "field %S must be an array" name))
+      | Some items ->
+          List.map
+            (fun item ->
+              match J.string_opt item with
+              | Some s -> s
+              | None ->
+                  raise (Bad_request (Printf.sprintf "field %S must contain strings" name)))
+            items)
+
+type query = {
+  q_targets : string list;  (* canonical: sorted, deduped, defaulted *)
+  q_detector : Core.Refine.partitioner;
+  q_detector_name : string;
+  q_engine : Core.Refine.engine;
+  q_m_sample : int;
+  q_min_community : int;
+  q_max_iterations : int;
+  q_stop_size : int;
+  q_gn_approx : int option;
+  q_min_cluster : int;
+}
+
+(* Defaults mirror [Pipeline.run]/[Refine.refine] exactly, so a bare
+   {"op":"query"} answers what a default single-shot run would. *)
+let decode_query st v =
+  let raw_targets = field_string_list "targets" v in
+  let targets =
+    match List.sort_uniq compare raw_targets with
+    | [] -> List.sort_uniq compare st.snap.Snapshot.default_targets
+    | ts -> ts
+  in
+  if targets = [] then
+    raise (Bad_request "no targets given and the snapshot has no default targets");
+  List.iter
+    (fun t ->
+      if not (Hashtbl.mem st.snap.Snapshot.mg.MG.io_map t) then
+        raise (Bad_request (Printf.sprintf "unknown target %S (not an output label)" t)))
+    targets;
+  let detector_name = field_string "detector" "gn" v in
+  let detector =
+    match Core.Refine.partitioner_of_string detector_name with
+    | Some p -> p
+    | None -> raise (Bad_request (Printf.sprintf "unknown detector %S" detector_name))
+  in
+  let engine =
+    match field_string "engine" "masked" v with
+    | "masked" -> `Masked
+    | "list" -> `List
+    | other -> raise (Bad_request (Printf.sprintf "unknown engine %S (masked|list)" other))
+  in
+  {
+    q_targets = targets;
+    q_detector = detector;
+    q_detector_name = Core.Refine.partitioner_string detector;
+    q_engine = engine;
+    q_m_sample = field_int "m_sample" 10 v;
+    q_min_community = field_int "min_community" 3 v;
+    q_max_iterations = field_int "max_iterations" 10 v;
+    q_stop_size = field_int "stop_size" 30 v;
+    q_gn_approx = field_int_opt "gn_approx" v;
+    q_min_cluster = field_int "min_cluster" 4 v;
+  }
+
+let cache_key q =
+  String.concat "\x1f" q.q_targets
+  ^ Printf.sprintf "\x00%s\x00%s\x00m%d c%d i%d s%d g%s k%d" q.q_detector_name
+      (Core.Refine.engine_string q.q_engine)
+      q.q_m_sample q.q_min_community q.q_max_iterations q.q_stop_size
+      (match q.q_gn_approx with None -> "-" | Some g -> string_of_int g)
+      q.q_min_cluster
+
+(* --- query evaluation ------------------------------------------------------ *)
+
+let compute st q =
+  let snap = st.snap in
+  let mg = snap.Snapshot.mg in
+  let pipeline =
+    Core.Pipeline.run ~keep_module:st.keep_module ~min_cluster:q.q_min_cluster
+      ~m_sample:q.q_m_sample ~min_community:q.q_min_community
+      ~max_iterations:q.q_max_iterations ~stop_size:q.q_stop_size
+      ?gn_approx:q.q_gn_approx ~partitioner:q.q_detector ?pool:st.pool
+      ~engine:q.q_engine ~frozen:snap.Snapshot.frozen mg ~outputs:q.q_targets
+      ~detect:st.detect
+  in
+  let result = pipeline.Core.Pipeline.result in
+  let located =
+    Core.Pipeline.located_bugs mg pipeline ~bug_nodes:snap.Snapshot.bug_nodes
+    |> List.map (fun id -> (MG.node mg id).MG.unique)
+  in
+  {
+    a_targets = q.q_targets;
+    a_detector = q.q_detector_name;
+    a_engine = Core.Refine.engine_string q.q_engine;
+    a_slice_nodes = List.length pipeline.Core.Pipeline.slice.Core.Slice.nodes;
+    a_slice_targets = List.length pipeline.Core.Pipeline.slice.Core.Slice.targets;
+    a_iterations = List.length result.Core.Refine.iterations;
+    a_outcome = Core.Refine.outcome_string result.Core.Refine.outcome;
+    a_final_nodes = List.length result.Core.Refine.final_nodes;
+    a_candidates = Core.Pipeline.candidates mg pipeline;
+    a_located = located;
+  }
+
+let answer_json ~id ~cached ~coalesced ~elapsed_ms a =
+  J.Obj
+    [
+      ("id", id);
+      ("status", J.Str "ok");
+      ("cached", J.Bool cached);
+      ("coalesced", J.Bool coalesced);
+      ("targets", J.Arr (List.map (fun t -> J.Str t) a.a_targets));
+      ("detector", J.Str a.a_detector);
+      ("engine", J.Str a.a_engine);
+      ("slice_nodes", J.num a.a_slice_nodes);
+      ("slice_targets", J.num a.a_slice_targets);
+      ("iterations", J.num a.a_iterations);
+      ("outcome", J.Str a.a_outcome);
+      ("final_nodes", J.num a.a_final_nodes);
+      ( "candidates",
+        J.Arr
+          (List.map
+             (fun (name, module_, sub, line) ->
+               J.Obj
+                 [
+                   ("name", J.Str name);
+                   ("module", J.Str module_);
+                   ("subprogram", J.Str sub);
+                   ("line", J.num line);
+                 ])
+             a.a_candidates) );
+      ("located_bugs", J.Arr (List.map (fun n -> J.Str n) a.a_located));
+      ("elapsed_ms", J.Num elapsed_ms);
+    ]
+
+let error_json ~id msg = J.Obj [ ("id", id); ("status", J.Str "error"); ("error", J.Str msg) ]
+
+(* Evaluate one parsed request to a response value.  Never raises. *)
+let respond st v =
+  let id = Option.value ~default:J.Null (J.member "id" v) in
+  let op = field_string "op" "query" v in
+  match op with
+  | "ping" ->
+      st.stats.served <- st.stats.served + 1;
+      J.Obj
+        [
+          ("id", id);
+          ("status", J.Str "ok");
+          ("op", J.Str "ping");
+          ("fingerprint", J.Str st.snap.Snapshot.fingerprint);
+          ("scale", J.Str st.snap.Snapshot.scale);
+          ("experiment", J.Str st.snap.Snapshot.experiment);
+          ("nodes", J.num (MG.n_nodes st.snap.Snapshot.mg));
+        ]
+  | "stats" ->
+      st.stats.served <- st.stats.served + 1;
+      J.Obj
+        [
+          ("id", id);
+          ("status", J.Str "ok");
+          ("op", J.Str "stats");
+          ("served", J.num st.stats.served);
+          ("errors", J.num st.stats.errors);
+          ("cache_hits", J.num st.stats.cache_hits);
+          ("cache_misses", J.num st.stats.cache_misses);
+          ("coalesced", J.num st.stats.coalesced);
+          ("cache_entries", J.num (Lru.length st.cache));
+          ("cache_capacity", J.num (Lru.capacity st.cache));
+          ("uptime_ms", J.Num (ms_since st.start_ns));
+        ]
+  | "shutdown" ->
+      st.stats.served <- st.stats.served + 1;
+      st.running <- false;
+      J.Obj [ ("id", id); ("status", J.Str "ok"); ("op", J.Str "shutdown") ]
+  | "query" -> (
+      let t0 = Rca_obs.Obs.monotonic_ns () in
+      match
+        Rca_obs.Obs.span "serve.request" (fun () ->
+            let q = decode_query st v in
+            let key = cache_key q in
+            match Lru.find st.cache key with
+            | Some a ->
+                st.stats.cache_hits <- st.stats.cache_hits + 1;
+                Rca_obs.Obs.incr "serve.cache_hit";
+                let coalesced = Hashtbl.mem st.fresh key in
+                if coalesced then st.stats.coalesced <- st.stats.coalesced + 1;
+                (a, true, coalesced)
+            | None ->
+                st.stats.cache_misses <- st.stats.cache_misses + 1;
+                Rca_obs.Obs.incr "serve.cache_miss";
+                let a = compute st q in
+                Lru.add st.cache key a;
+                Hashtbl.replace st.fresh key ();
+                (a, false, false))
+      with
+      | a, cached, coalesced ->
+          st.stats.served <- st.stats.served + 1;
+          answer_json ~id ~cached ~coalesced ~elapsed_ms:(ms_since t0) a
+      | exception Bad_request msg ->
+          st.stats.errors <- st.stats.errors + 1;
+          error_json ~id msg
+      | exception (Invalid_argument msg | Failure msg) ->
+          st.stats.errors <- st.stats.errors + 1;
+          error_json ~id (Printf.sprintf "query failed: %s" msg))
+  | other ->
+      st.stats.errors <- st.stats.errors + 1;
+      error_json ~id (Printf.sprintf "unknown op %S" other)
+
+let respond_line st line =
+  match J.of_string line with
+  | Error msg ->
+      st.stats.errors <- st.stats.errors + 1;
+      error_json ~id:J.Null (Printf.sprintf "bad request line: %s" msg)
+  | Ok v -> (
+      match respond st v with
+      | r -> r
+      | exception Bad_request msg ->
+          st.stats.errors <- st.stats.errors + 1;
+          error_json ~id:J.Null msg)
+
+(* --- the reactor ----------------------------------------------------------- *)
+
+let listener_of addr =
+  match addr with
+  | `Unix path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      fd
+  | `Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      fd
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd bytes !pos (len - !pos)
+  done
+
+(* Split every complete line out of a connection's buffer. *)
+let drain_lines conn =
+  let rec go acc =
+    match String.index_opt conn.pending '\n' with
+    | None -> List.rev acc
+    | Some i ->
+        let line = String.sub conn.pending 0 i in
+        conn.pending <-
+          String.sub conn.pending (i + 1) (String.length conn.pending - i - 1);
+        go (line :: acc)
+  in
+  go []
+
+let read_chunk_size = 65536
+
+let serve_loop st listener =
+  let conns = ref [] in
+  let buf = Bytes.create read_chunk_size in
+  while st.running do
+    let fds = listener :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if List.mem listener readable then begin
+          (* drain every pending connection (the listener is
+             non-blocking) so a simultaneous burst of clients lands in
+             the same batch and can coalesce *)
+          let rec accept_all () =
+            match Unix.accept listener with
+            | fd, _ ->
+                conns := !conns @ [ { fd; pending = ""; alive = true } ];
+                accept_all ()
+            | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_all ()
+          in
+          accept_all ()
+        end;
+        (* drain every readable connection first, then answer the whole
+           batch in arrival order — this is what lets identical requests
+           arriving together coalesce on one computation *)
+        let batch = ref [] in
+        List.iter
+          (fun conn ->
+            if List.mem conn.fd readable then begin
+              match Unix.read conn.fd buf 0 read_chunk_size with
+              | 0 -> conn.alive <- false
+              | k ->
+                  conn.pending <- conn.pending ^ Bytes.sub_string buf 0 k;
+                  List.iter (fun line -> batch := (conn, line) :: !batch) (drain_lines conn)
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                  conn.alive <- false
+            end)
+          !conns;
+        Hashtbl.reset st.fresh;
+        List.iter
+          (fun (conn, line) ->
+            if conn.alive && String.trim line <> "" then begin
+              let reply = J.to_string (respond_line st line) ^ "\n" in
+              try write_all conn.fd reply
+              with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false
+            end)
+          (List.rev !batch);
+        conns :=
+          List.filter
+            (fun conn ->
+              if conn.alive then true
+              else begin
+                (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+                false
+              end)
+            !conns
+  done;
+  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) !conns
+
+let serve ?(cache_capacity = 64) ?(domains = 1) ?on_ready addr snap =
+  let keep_module =
+    match snap.Snapshot.keep_modules with
+    | None -> fun _ -> true
+    | Some ms ->
+        let set = Hashtbl.create (max 16 (2 * List.length ms)) in
+        List.iter (fun m -> Hashtbl.replace set m ()) ms;
+        fun m -> Hashtbl.mem set m
+  in
+  let detect =
+    Core.Detector.reachability snap.Snapshot.mg ~bug_nodes:snap.Snapshot.bug_nodes
+  in
+  let stats = { served = 0; errors = 0; cache_hits = 0; cache_misses = 0; coalesced = 0 } in
+  let run pool =
+    let st =
+      {
+        snap;
+        detect;
+        keep_module;
+        pool;
+        cache = Lru.create cache_capacity;
+        fresh = Hashtbl.create 16;
+        stats;
+        start_ns = Rca_obs.Obs.monotonic_ns ();
+        running = true;
+      }
+    in
+    let listener = listener_of addr in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close listener with Unix.Unix_error _ -> ());
+        match addr with
+        | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        | `Tcp _ -> ())
+      (fun () ->
+        Option.iter (fun f -> f ()) on_ready;
+        serve_loop st listener)
+  in
+  let effective = G.Pool.recommended_size ~requested:domains in
+  if effective > 1 then G.Pool.with_pool effective (fun pool -> run (Some pool))
+  else run None;
+  stats

@@ -1,0 +1,39 @@
+(** The RCA query daemon: serve one immutable compiled model
+    ({!Snapshot.t}) over a line-delimited JSON protocol.
+
+    Protocol: one request object per line, one response object per
+    line.  Ops: ["query"] (the default — targets/detector/engine plus
+    the refinement knobs, all defaulting to the single-shot pipeline's
+    values), ["ping"], ["stats"], ["shutdown"].  Responses carry
+    [status] ("ok"/"error"), the echoed [id], and for queries the
+    [cached]/[coalesced] flags, slice and refinement sizes, candidate
+    locations and located bugs.
+
+    The server is a single-threaded [Unix.select] reactor; query
+    results are cached in an LRU keyed by the canonical request, and
+    identical requests drained in the same readiness round coalesce on
+    one computation.  Malformed lines and failing queries produce
+    error replies — the daemon never dies on request input. *)
+
+type addr = [ `Unix of string | `Tcp of int ]
+(** Where to listen: a Unix-domain socket path (unlinked and rebound if
+    it exists) or a loopback TCP port. *)
+
+type stats = {
+  mutable served : int;  (** successful replies, all ops *)
+  mutable errors : int;  (** error replies *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable coalesced : int;
+      (** cache hits whose entry was computed earlier in the same
+          select round — suppressed stampede members *)
+}
+
+val serve :
+  ?cache_capacity:int -> ?domains:int -> ?on_ready:(unit -> unit) -> addr -> Snapshot.t -> stats
+(** Run the daemon until a ["shutdown"] request.  [cache_capacity]
+    (default 64) bounds the LRU; [domains] (default 1) sizes one shared
+    domain pool for the refinement hot paths — per-request ["domains"]
+    fields are accepted and ignored, so results never depend on client
+    configuration.  [on_ready] fires after the socket is listening
+    (e.g. to signal a forked parent).  Returns the final counters. *)

@@ -286,6 +286,54 @@ let coverage_unreachable_subprogram () =
                 m.Rca_fortran.Ast.m_subprograms))
   | _ -> Alcotest.fail "expected one module after filtering"
 
+(* --- score_sets ---------------------------------------------------------------- *)
+
+(* The hash-set scorer must equal the quadratic List.mem reference on
+   every input, including duplicate candidates (deduped) and duplicate
+   expected entries (recall still divides by the raw expected length). *)
+let score_sets_reference ~expected ~candidates =
+  let cands = List.sort_uniq compare candidates in
+  let inter = List.length (List.filter (fun c -> List.mem c expected) cands) in
+  let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  let precision = ratio inter (List.length cands) in
+  let recall = ratio inter (List.length expected) in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  (precision, recall, f1)
+
+let score_triple s =
+  Rca_faults.Campaign.(s.precision, s.recall, s.f1)
+
+let score_sets_matches_reference () =
+  let cases =
+    [
+      ([], []);
+      ([ "a" ], []);
+      ([], [ "a" ]);
+      ([ "a"; "b" ], [ "b"; "a" ]);
+      ([ "a"; "b"; "c" ], [ "b"; "b"; "d"; "b" ]);
+      ([ "a"; "a"; "b" ], [ "a" ]);  (* duplicate expected entries *)
+      ([ "x" ], [ "y"; "z" ]);
+    ]
+  in
+  List.iter
+    (fun (expected, candidates) ->
+      Alcotest.(check (triple (float 0.0) (float 0.0) (float 0.0)))
+        (Printf.sprintf "expected=[%s] candidates=[%s]" (String.concat ";" expected)
+           (String.concat ";" candidates))
+        (score_sets_reference ~expected ~candidates)
+        (score_triple (Rca_faults.Campaign.score_sets ~expected ~candidates)))
+    cases
+
+let score_sets_qcheck =
+  QCheck.Test.make ~name:"score_sets = List.mem reference" ~count:500
+    QCheck.(pair (small_list (int_bound 20)) (small_list (int_bound 20)))
+    (fun (expected, candidates) ->
+      score_sets_reference ~expected ~candidates
+      = score_triple (Rca_faults.Campaign.score_sets ~expected ~candidates))
+
 (* --- suite ------------------------------------------------------------------- *)
 
 let () =
@@ -311,6 +359,11 @@ let () =
         [
           Alcotest.test_case "same-seed scorecards byte-identical" `Slow
             campaign_same_seed_byte_identical;
+        ] );
+      ( "score",
+        [
+          Alcotest.test_case "score_sets reference cases" `Quick score_sets_matches_reference;
+          QCheck_alcotest.to_alcotest score_sets_qcheck;
         ] );
       ( "located_bugs",
         [

@@ -121,6 +121,44 @@ let emitters_well_formed () =
   (* non-finite gauge must not produce bare [nan] (invalid JSON) *)
   check_bool "no bare nan" false (contains_substring summary ": nan")
 
+(* --- monotonic clock ------------------------------------------------------------ *)
+
+let monotonic_never_decreases () =
+  let prev = ref (Obs.monotonic_ns ()) in
+  for _ = 1 to 10_000 do
+    let now = Obs.monotonic_ns () in
+    if Int64.compare now !prev < 0 then
+      Alcotest.failf "monotonic clock went backwards: %Ld -> %Ld" !prev now;
+    prev := now
+  done
+
+(* The regression the clock switch fixes: span durations and start
+   offsets must be non-negative no matter how many spans are recorded —
+   with gettimeofday a stepped wall clock could produce negative
+   durations. *)
+let spans_nonnegative_under_load () =
+  Obs.enable ();
+  for i = 1 to 1_000 do
+    ignore (Obs.span "tick" (fun () -> i * i))
+  done;
+  Obs.disable ();
+  check_int "all recorded" 1_000 (Obs.span_count "tick");
+  List.iter
+    (fun s ->
+      if s.Obs.dur_us < 0.0 then Alcotest.failf "negative duration %f" s.Obs.dur_us;
+      if s.Obs.ts_us < 0.0 then Alcotest.failf "negative start %f" s.Obs.ts_us)
+    (Obs.spans ());
+  Obs.reset ()
+
+let wall_anchor_recorded () =
+  Obs.enable ();
+  ignore (Obs.span "s" (fun () -> ()));
+  Obs.disable ();
+  check_bool "wall epoch captured" true (Obs.wall_epoch_us () > 0.0);
+  check_bool "trace carries wall anchor" true
+    (contains_substring (Obs.chrome_trace_json ()) "\"wallClockStartUs\"");
+  Obs.reset ()
+
 (* --- pipeline determinism under instrumentation --------------------------------- *)
 
 let build src = MG.build (Rca_fortran.Parser.parse_file ~strict:false ~file:"t.F90" src)
@@ -264,6 +302,12 @@ let () =
           Alcotest.test_case "span' args" `Quick span'_args_from_result;
           Alcotest.test_case "enable resets" `Quick enable_resets;
           Alcotest.test_case "emitters well-formed" `Quick emitters_well_formed;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic never decreases" `Quick monotonic_never_decreases;
+          Alcotest.test_case "spans nonnegative" `Quick spans_nonnegative_under_load;
+          Alcotest.test_case "wall anchor" `Quick wall_anchor_recorded;
         ] );
       ( "pipeline",
         [

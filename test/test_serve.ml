@@ -1,0 +1,461 @@
+(* Tests for rca_serve: the JSON codec, the LRU cache, snapshot
+   save/load round trips (the byte-identity contract: a pipeline run on
+   a loaded snapshot equals one on the freshly built model, both
+   engines), rejection of damaged snapshot files, and a forked
+   query-daemon end-to-end exercise including garbage requests (the
+   daemon must answer an error object and keep serving). *)
+
+open Rca_experiments
+module MG = Rca_metagraph.Metagraph
+module G = Rca_graph
+module Snap = Rca_serve.Snapshot
+module Server = Rca_serve.Server
+module Client = Rca_serve.Client
+module Lru = Rca_serve.Lru
+module J = Rca_serve.Jsonio
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- jsonio --------------------------------------------------------------------- *)
+
+let json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "false";
+      "0";
+      "-17";
+      "3.25";
+      {|"plain"|};
+      {|"es\"c\\ap\ne\td"|};
+      "[]";
+      "[1,2,3]";
+      {|{"a":1,"b":[true,null],"c":{"d":"e"}}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Error msg -> Alcotest.failf "%s failed to parse: %s" s msg
+      | Ok v -> check_string s s (J.to_string v))
+    cases
+
+let json_unicode_escapes () =
+  (match J.of_string {|"Aé€"|} with
+  | Ok (J.Str s) -> check_string "utf8" "A\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "unicode escapes");
+  (* surrogate pair -> one supplementary code point *)
+  match J.of_string {|"😀"|} with
+  | Ok (J.Str s) -> check_string "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair"
+
+let json_errors () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok v -> Alcotest.failf "%S should not parse, got %s" s (J.to_string v)
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,2";
+      "{\"a\":}";
+      "tru";
+      "nul";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "01extra";
+      "1 2";
+      "{\"a\":1,}";
+      "[1,]";
+      "nan";
+      "\"ctrl \x01 char\"";
+    ]
+
+let json_accessors () =
+  let v = Result.get_ok (J.of_string {|{"n":5,"s":"x","l":[1],"f":2.5}|}) in
+  check_bool "member" true (J.member "n" v = Some (J.Num 5.0));
+  check_bool "absent member" true (J.member "zz" v = None);
+  check_bool "int_opt" true (Option.bind (J.member "n" v) J.int_opt = Some 5);
+  check_bool "int_opt rejects float" true (Option.bind (J.member "f" v) J.int_opt = None);
+  check_bool "string_opt" true (Option.bind (J.member "s" v) J.string_opt = Some "x");
+  check_bool "list_opt" true (Option.bind (J.member "l" v) J.list_opt = Some [ J.Num 1.0 ]);
+  check_string "escaped key printing" {|{"a\nb":1}|} (J.to_string (J.Obj [ ("a\nb", J.num 1) ]))
+
+(* --- lru ------------------------------------------------------------------------- *)
+
+let lru_eviction_order () =
+  let c = Lru.create 3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  check_int "full" 3 (Lru.length c);
+  Lru.add c "d" 4;
+  (* "a" was least recent *)
+  check_bool "a evicted" true (Lru.find c "a" = None);
+  check_int "still capacity" 3 (Lru.length c);
+  check_int "evictions" 1 (Lru.evictions c)
+
+let lru_find_promotes () =
+  let c = Lru.create 3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  check_bool "hit a" true (Lru.find c "a" = Some 1);
+  Lru.add c "d" 4;
+  (* "b" is now the least recent, "a" was promoted by the find *)
+  check_bool "b evicted" true (Lru.find c "b" = None);
+  check_bool "a survives" true (Lru.find c "a" = Some 1);
+  check_bool "most recent first" true (fst (List.hd (Lru.to_list c)) = "a")
+
+let lru_overwrite_promotes () =
+  let c = Lru.create 2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;
+  Lru.add c "c" 3;
+  check_bool "b evicted" true (Lru.find c "b" = None);
+  check_bool "a overwritten" true (Lru.find c "a" = Some 10);
+  check_int "length" 2 (Lru.length c)
+
+let lru_capacity_one () =
+  let c = Lru.create 1 in
+  Lru.add c 1 "x";
+  Lru.add c 2 "y";
+  check_bool "only latest" true (Lru.find c 2 = Some "y" && Lru.find c 1 = None);
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Lru.create 0))
+
+(* --- snapshot fixtures ------------------------------------------------------------ *)
+
+(* One tiny-scale GOFFGRATCH model compiled the way `rca_main compile`
+   does it: fixture + selection + bug nodes + freeze. *)
+let compiled =
+  lazy
+    (let config = Rca_synth.Config.tiny in
+     let spec = Experiments.goffgratch in
+     let fixture = Fixture.make ~inject:spec.Harness.inject config in
+     let p = Harness.default_params config in
+     let sel = Harness.select_affected spec p fixture in
+     let bug_nodes = Fixture.bug_nodes fixture ~canonicals:spec.Harness.bug_canonicals in
+     let mg = fixture.Fixture.mg in
+     let keep_modules =
+       if spec.Harness.restrict_to_cam then
+         Some
+           (Array.to_list mg.MG.node_meta
+           |> List.map (fun nd -> nd.MG.module_)
+           |> List.sort_uniq compare
+           |> List.filter Rca_synth.Outputs.is_cam_module)
+       else None
+     in
+     {
+       Snap.version = Snap.current_version;
+       fingerprint = "test tiny GOFFGRATCH";
+       scale = "tiny";
+       experiment = spec.Harness.name;
+       mg;
+       frozen = Rca_core.Frozen.freeze mg.MG.graph;
+       keep_modules;
+       bug_nodes;
+       default_targets = sel.Harness.sel_affected;
+     })
+
+let saved_bytes =
+  lazy
+    (let snap = Lazy.force compiled in
+     let path = Filename.temp_file "rca_snap_test" ".rcasnap" in
+     Snap.save path snap;
+     let ic = open_in_bin path in
+     let data = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     Sys.remove path;
+     data)
+
+let load_bytes data =
+  let path = Filename.temp_file "rca_snap_test" ".rcasnap" in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc;
+  let r = Snap.load path in
+  Sys.remove path;
+  r
+
+let sorted_bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* --- snapshot round trip ----------------------------------------------------------- *)
+
+let snapshot_structural_roundtrip () =
+  let snap = Lazy.force compiled in
+  let loaded =
+    match load_bytes (Lazy.force saved_bytes) with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "load failed: %s" msg
+  in
+  check_string "fingerprint" snap.Snap.fingerprint loaded.Snap.fingerprint;
+  check_string "scale" snap.Snap.scale loaded.Snap.scale;
+  check_string "experiment" snap.Snap.experiment loaded.Snap.experiment;
+  check_bool "keep_modules" true (snap.Snap.keep_modules = loaded.Snap.keep_modules);
+  check_bool "bug_nodes" true (snap.Snap.bug_nodes = loaded.Snap.bug_nodes);
+  check_bool "default_targets" true (snap.Snap.default_targets = loaded.Snap.default_targets);
+  let a = snap.Snap.mg and b = loaded.Snap.mg in
+  check_bool "node_meta" true (a.MG.node_meta = b.MG.node_meta);
+  check_int "graph n" (G.Digraph.n a.MG.graph) (G.Digraph.n b.MG.graph);
+  check_int "graph m" (G.Digraph.m a.MG.graph) (G.Digraph.m b.MG.graph);
+  (* both list orders must survive verbatim — the determinism contract *)
+  check_bool "succ and pred orders" true
+    (G.Digraph.adjacency a.MG.graph = G.Digraph.adjacency b.MG.graph);
+  check_bool "by_key" true (sorted_bindings a.MG.by_key = sorted_bindings b.MG.by_key);
+  (* by_canonical is rebuilt, not deserialized: per-name id lists must
+     still match exactly, order included *)
+  check_bool "by_canonical" true
+    (sorted_bindings a.MG.by_canonical = sorted_bindings b.MG.by_canonical);
+  check_bool "io_map" true (sorted_bindings a.MG.io_map = sorted_bindings b.MG.io_map);
+  check_bool "edge_origins" true
+    (sorted_bindings a.MG.edge_origins = sorted_bindings b.MG.edge_origins);
+  check_bool "stats" true (a.MG.stats = b.MG.stats);
+  (* the reconstructed frozen CSR must be bitwise identical to freezing
+     the original graph *)
+  let fa = snap.Snap.frozen and fb = loaded.Snap.frozen in
+  check_bool "csr row" true (fa.Rca_core.Frozen.csr.G.Csr.row = fb.Rca_core.Frozen.csr.G.Csr.row);
+  check_bool "csr col" true (fa.Rca_core.Frozen.csr.G.Csr.col = fb.Rca_core.Frozen.csr.G.Csr.col);
+  check_bool "csr src" true (fa.Rca_core.Frozen.csr.G.Csr.src = fb.Rca_core.Frozen.csr.G.Csr.src);
+  check_bool "csr rev" true (fa.Rca_core.Frozen.csr.G.Csr.rev = fb.Rca_core.Frozen.csr.G.Csr.rev);
+  check_bool "transpose row" true
+    (fa.Rca_core.Frozen.rev.G.Csr.row = fb.Rca_core.Frozen.rev.G.Csr.row);
+  check_bool "transpose col" true
+    (fa.Rca_core.Frozen.rev.G.Csr.col = fb.Rca_core.Frozen.rev.G.Csr.col)
+
+let strip t =
+  ( t.Rca_core.Pipeline.slice.Rca_core.Slice.nodes,
+    t.Rca_core.Pipeline.slice.Rca_core.Slice.targets,
+    List.map
+      (fun it ->
+        Rca_core.Refine.
+          (it.nodes, it.communities, it.sampled_by_community, it.sampled, it.detected))
+      t.Rca_core.Pipeline.result.Rca_core.Refine.iterations,
+    t.Rca_core.Pipeline.result.Rca_core.Refine.final_nodes,
+    t.Rca_core.Pipeline.result.Rca_core.Refine.outcome )
+
+(* The tentpole property: a pipeline run on the loaded snapshot is
+   byte-identical to one on the freshly built model, on both engines. *)
+let snapshot_pipeline_identical engine () =
+  let snap = Lazy.force compiled in
+  let loaded =
+    match load_bytes (Lazy.force saved_bytes) with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "load failed: %s" msg
+  in
+  let keep_module m =
+    match snap.Snap.keep_modules with None -> true | Some ms -> List.mem m ms
+  in
+  let targets = List.sort_uniq compare snap.Snap.default_targets in
+  let run (s : Snap.t) =
+    Rca_core.Pipeline.run ~keep_module ~min_cluster:4 ~m_sample:10 ~gn_approx:128
+      ~stop_size:30 ~engine ~frozen:s.Snap.frozen s.Snap.mg ~outputs:targets
+      ~detect:(Rca_core.Detector.reachability s.Snap.mg ~bug_nodes:s.Snap.bug_nodes)
+  in
+  let orig = run snap and reloaded = run loaded in
+  check_bool "pipeline results identical" true (strip orig = strip reloaded);
+  check_bool "candidates identical" true
+    (Rca_core.Pipeline.candidates snap.Snap.mg orig
+    = Rca_core.Pipeline.candidates loaded.Snap.mg reloaded);
+  check_bool "located bugs identical" true
+    (Rca_core.Pipeline.located_bugs snap.Snap.mg orig ~bug_nodes:snap.Snap.bug_nodes
+    = Rca_core.Pipeline.located_bugs loaded.Snap.mg reloaded ~bug_nodes:loaded.Snap.bug_nodes)
+
+let snapshot_describe () =
+  let snap = Lazy.force compiled in
+  let path = Filename.temp_file "rca_snap_test" ".rcasnap" in
+  Snap.save path snap;
+  (match Snap.describe path with
+  | Ok (fp, scale, experiment) ->
+      check_string "fingerprint" snap.Snap.fingerprint fp;
+      check_string "scale" "tiny" scale;
+      check_string "experiment" snap.Snap.experiment experiment
+  | Error msg -> Alcotest.failf "describe failed: %s" msg);
+  Sys.remove path
+
+(* --- snapshot rejection ------------------------------------------------------------- *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let expect_error ~substr data =
+  match load_bytes data with
+  | Ok _ -> Alcotest.failf "damaged snapshot loaded (wanted error with %S)" substr
+  | Error msg ->
+      if not (contains_substring msg substr) then
+        Alcotest.failf "error %S does not mention %S" msg substr
+
+let snapshot_rejects_damage () =
+  let data = Lazy.force saved_bytes in
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    Bytes.to_string b
+  in
+  expect_error ~substr:"shorter than the fixed header" (String.sub data 0 10);
+  expect_error ~substr:"payload shorter" (String.sub data 0 (String.length data / 2));
+  expect_error ~substr:"bad magic" (flip data 0);
+  expect_error ~substr:"snapshot version" (flip data 8);
+  expect_error ~substr:"checksum mismatch" (flip data 40);
+  expect_error ~substr:"trailing bytes" (data ^ "x");
+  (* empty and non-snapshot files *)
+  expect_error ~substr:"shorter than the fixed header" "";
+  expect_error ~substr:"bad magic" (String.make 64 'j');
+  check_bool "pristine bytes still load" true (Result.is_ok (load_bytes data))
+
+(* --- forked daemon end to end ------------------------------------------------------- *)
+
+let with_daemon f =
+  let snap = Lazy.force compiled in
+  let dir = Filename.temp_file "rca_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "rca.sock" in
+  flush stdout;
+  flush stderr;
+  let child =
+    match Unix.fork () with
+    | 0 ->
+        (try ignore (Server.serve ~cache_capacity:8 (`Unix sock) snap) with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let rec connect attempts =
+    match Client.connect (`Unix sock) with
+    | conn -> conn
+    | exception Unix.Unix_error _ when attempts > 0 ->
+        Unix.sleepf 0.05;
+        connect (attempts - 1)
+  in
+  let conn = connect 100 in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Client.request conn (J.Obj [ ("op", J.Str "shutdown") ]));
+      Client.close conn;
+      ignore (Unix.waitpid [] child);
+      (try
+         if Sys.file_exists sock then Sys.remove sock;
+         Unix.rmdir dir
+       with Sys_error _ | Unix.Unix_error _ -> ()))
+    (fun () -> f conn)
+
+let reply conn fields =
+  match Client.request conn (J.Obj fields) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+
+let status r = Option.bind (J.member "status" r) J.string_opt
+
+let daemon_query_and_cache () =
+  with_daemon (fun conn ->
+      let ping = reply conn [ ("op", J.Str "ping") ] in
+      check_bool "ping ok" true (status ping = Some "ok");
+      let q = [ ("op", J.Str "query"); ("detector", J.Str "greedy") ] in
+      let first = reply conn q in
+      check_bool "query ok" true (status first = Some "ok");
+      check_bool "first not cached" true (J.member "cached" first = Some (J.Bool false));
+      let second = reply conn q in
+      check_bool "repeat cached" true (J.member "cached" second = Some (J.Bool true));
+      (* identical payloads modulo the per-request fields *)
+      let strip_reply r =
+        match r with
+        | J.Obj fields ->
+            List.filter
+              (fun (k, _) -> k <> "cached" && k <> "coalesced" && k <> "elapsed_ms")
+              fields
+        | _ -> Alcotest.fail "reply not an object"
+      in
+      check_bool "cached reply identical" true (strip_reply first = strip_reply second);
+      check_bool "locates the injected bug" true
+        (match Option.bind (J.member "located_bugs" first) J.list_opt with
+        | Some (_ :: _) -> true
+        | _ -> false))
+
+let daemon_survives_garbage () =
+  with_daemon (fun conn ->
+      (* raw non-JSON bytes: an error object, not a dropped connection *)
+      Client.send_line conn "this is {{{ not json";
+      (match Client.recv conn with
+      | Ok r ->
+          check_bool "garbage -> error reply" true (status r = Some "error");
+          check_bool "error names the parse failure" true
+            (match Option.bind (J.member "error" r) J.string_opt with
+            | Some msg -> String.length msg > 0
+            | None -> false)
+      | Error msg -> Alcotest.failf "no reply to garbage: %s" msg);
+      let bad_cases =
+        [
+          [ ("op", J.Str "query"); ("detector", J.Str "bogus") ];
+          [ ("op", J.Str "query"); ("engine", J.Str "bogus") ];
+          [ ("op", J.Str "query"); ("targets", J.Arr [ J.Str "NO_SUCH_OUTPUT" ]) ];
+          [ ("op", J.Str "query"); ("targets", J.Str "not-an-array") ];
+          [ ("op", J.Str "launch-missiles") ];
+        ]
+      in
+      List.iter
+        (fun fields ->
+          let r = reply conn fields in
+          check_bool "bad request -> error reply" true (status r = Some "error"))
+        bad_cases;
+      (* the daemon is still alive and still answers good requests *)
+      let ping = reply conn [ ("op", J.Str "ping"); ("id", J.num 9) ] in
+      check_bool "ping after garbage" true (status ping = Some "ok");
+      check_bool "id echoed" true (J.member "id" ping = Some (J.Num 9.0));
+      let stats = reply conn [ ("op", J.Str "stats") ] in
+      check_bool "errors counted" true
+        (match Option.bind (J.member "errors" stats) J.int_opt with
+        | Some e -> e = 6
+        | None -> false))
+
+let daemon_empty_targets_default () =
+  with_daemon (fun conn ->
+      let q = reply conn [ ("op", J.Str "query"); ("detector", J.Str "greedy") ] in
+      let snap = Lazy.force compiled in
+      let expected = List.sort_uniq compare snap.Snap.default_targets in
+      check_bool "defaults used" true
+        (match Option.bind (J.member "targets" q) J.list_opt with
+        | Some items -> List.filter_map J.string_opt items = expected
+        | None -> false))
+
+let () =
+  Alcotest.run "rca_serve"
+    [
+      ( "jsonio",
+        [
+          Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick json_unicode_escapes;
+          Alcotest.test_case "parse errors" `Quick json_errors;
+          Alcotest.test_case "accessors" `Quick json_accessors;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick lru_eviction_order;
+          Alcotest.test_case "find promotes" `Quick lru_find_promotes;
+          Alcotest.test_case "overwrite promotes" `Quick lru_overwrite_promotes;
+          Alcotest.test_case "capacity one" `Quick lru_capacity_one;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "structural roundtrip" `Quick snapshot_structural_roundtrip;
+          Alcotest.test_case "pipeline identical (masked)" `Quick
+            (snapshot_pipeline_identical `Masked);
+          Alcotest.test_case "pipeline identical (list)" `Quick
+            (snapshot_pipeline_identical `List);
+          Alcotest.test_case "describe" `Quick snapshot_describe;
+          Alcotest.test_case "rejects damage" `Quick snapshot_rejects_damage;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "query and cache" `Quick daemon_query_and_cache;
+          Alcotest.test_case "survives garbage" `Quick daemon_survives_garbage;
+          Alcotest.test_case "empty targets use defaults" `Quick daemon_empty_targets_default;
+        ] );
+    ]
