@@ -964,16 +964,35 @@ let run_lint_bench ~json () =
         let an, t_analyze =
           timeit (fun () -> An.analyze fixture.Fixture.covered_program)
         in
+        let resolution, t_resolve =
+          timeit (fun () -> Rca_analysis.Resolve.program fixture.Fixture.covered_program)
+        in
+        let ty_diags, t_typecheck =
+          timeit (fun () ->
+              List.concat_map
+                (fun sa -> Rca_analysis.Typecheck.of_sub sa.An.sa_scope)
+                an.An.subs)
+        in
+        let call_diags, t_callcheck =
+          timeit (fun () ->
+              List.concat_map
+                (fun sa -> Rca_analysis.Callcheck.of_sub sa.An.sa_scope)
+                an.An.subs)
+        in
         let oracle, t_oracle = timeit (fun () -> An.check_oracle an fixture.Fixture.mg) in
         let dead = An.dead_node_ids an fixture.Fixture.mg in
         Printf.printf
-          "static analysis (small scale): %d subprograms, %d diagnostics, %d static-dead \
-           nodes\n"
-          (List.length an.An.subs) (List.length an.An.diags) (List.length dead);
+          "static analysis (small scale): %d subprograms, %d symbols, %d diagnostics, %d \
+           static-dead nodes\n"
+          (List.length an.An.subs)
+          (Rca_analysis.Resolve.n_symbols resolution)
+          (List.length an.An.diags) (List.length dead);
         Printf.printf
-          "  analyze  %8.3f s\n  oracle   %8.3f s   %d pairs / %d edges, %d mismatches, %d \
-           orphans\n%!"
-          t_analyze t_oracle oracle.Or.rp_pairs oracle.Or.rp_edges
+          "  analyze   %8.3f s\n  resolve   %8.3f s\n  typecheck %8.3f s   %d strict \
+           diagnostics\n  callcheck %8.3f s   %d strict diagnostics\n  oracle    %8.3f s   \
+           %d pairs / %d edges, %d mismatches, %d orphans\n%!"
+          t_analyze t_resolve t_typecheck (List.length ty_diags) t_callcheck
+          (List.length call_diags) t_oracle oracle.Or.rp_pairs oracle.Or.rp_edges
           (List.length oracle.Or.rp_mismatches)
           (List.length oracle.Or.rp_orphans);
         (match json with
@@ -982,11 +1001,17 @@ let run_lint_bench ~json () =
             let oc = open_out path in
             Printf.fprintf oc
               "{\n  \"bench\": \"lint\",\n  \"scale\": \"small\",\n  \"subprograms\": %d,\n  \
-               \"diagnostics\": %d,\n  \"errors\": %d,\n  \"static_dead_nodes\": %d,\n  \
-               \"seconds_analyze\": %.6f,\n  \"seconds_oracle\": %.6f,\n  \"oracle\": %s\n}\n"
-              (List.length an.An.subs) (List.length an.An.diags)
+               \"symbols\": %d,\n  \"diagnostics\": %d,\n  \"errors\": %d,\n  \
+               \"static_dead_nodes\": %d,\n  \"typecheck_diagnostics\": %d,\n  \
+               \"callcheck_diagnostics\": %d,\n  \"seconds_analyze\": %.6f,\n  \
+               \"seconds_resolve\": %.6f,\n  \"seconds_typecheck\": %.6f,\n  \
+               \"seconds_callcheck\": %.6f,\n  \"seconds_oracle\": %.6f,\n  \"oracle\": %s\n}\n"
+              (List.length an.An.subs)
+              (Rca_analysis.Resolve.n_symbols resolution)
+              (List.length an.An.diags)
               (Di.count_severity an.An.diags Di.Error)
-              (List.length dead) t_analyze t_oracle (Or.summary_json oracle);
+              (List.length dead) (List.length ty_diags) (List.length call_diags) t_analyze
+              t_resolve t_typecheck t_callcheck t_oracle (Or.summary_json oracle);
             close_out oc;
             Printf.printf "  telemetry written to %s\n%!" path);
         Or.ok oracle)

@@ -167,9 +167,14 @@ let modules_cmd =
 (* --- lint ------------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run config report_path no_oracle =
+  let run config report_path no_oracle strict_types =
     let fixture = Fixture.make config in
-    let an = Rca_analysis.Analysis.analyze fixture.Fixture.covered_program in
+    let an =
+      Rca_analysis.Analysis.analyze ~strict_types fixture.Fixture.covered_program
+    in
+    if strict_types then
+      Printf.printf "strict types: %d symbols resolved\n"
+        (Rca_analysis.Resolve.n_symbols an.Rca_analysis.Analysis.resolution);
     let oracle =
       if no_oracle then None
       else Some (Rca_analysis.Analysis.check_oracle an fixture.Fixture.mg)
@@ -225,13 +230,22 @@ let lint_cmd =
       & info [ "no-oracle" ]
           ~doc:"Skip the differential def-use/metagraph cross-validation.")
   in
+  let strict_types_arg =
+    Arg.(
+      value & flag
+      & info [ "strict-types" ]
+          ~doc:
+            "Also run the resolver-backed type checker and interprocedural \
+             call-contract checker (type/rank mismatches, arity, intent at call \
+             sites, implicit-typing fallbacks).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static dataflow lint of the generated synthetic model (CFG + reaching \
           definitions), cross-validated against the metagraph.  Exits nonzero on \
           error-severity findings or any def-use/metagraph mismatch.")
-    Term.(const run $ scale_arg $ report_arg $ no_oracle_arg)
+    Term.(const run $ scale_arg $ report_arg $ no_oracle_arg $ strict_types_arg)
 
 (* --- experiment ------------------------------------------------------------------- *)
 

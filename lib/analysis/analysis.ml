@@ -21,12 +21,14 @@ type sub_analysis = {
 
 type t = {
   program_scope : Scope.program_scope;
+  resolution : Resolve.t;
   summaries : Scope.summaries;
   subs : sub_analysis list;
   diags : Diagnostics.diag list;
+  strict_types : bool;
 }
 
-let analyze (prog : Rca_fortran.Ast.program) : t =
+let analyze ?(strict_types = false) (prog : Rca_fortran.Ast.program) : t =
   Obs.span' "analysis.analyze"
     (fun t ->
       [
@@ -34,7 +36,10 @@ let analyze (prog : Rca_fortran.Ast.program) : t =
         ("diagnostics", Obs.Int (List.length t.diags));
       ])
   @@ fun () ->
-  let program_scope = Obs.span "analysis.scopes" @@ fun () -> Scope.of_program prog in
+  let resolution = Obs.span "analysis.resolve" @@ fun () -> Resolve.program prog in
+  let program_scope =
+    Obs.span "analysis.scopes" @@ fun () -> Scope.of_program ~resolution prog
+  in
   let summaries =
     Obs.span "analysis.summaries" @@ fun () -> Scope.compute_summaries program_scope
   in
@@ -64,10 +69,24 @@ let analyze (prog : Rca_fortran.Ast.program) : t =
   in
   let diags =
     Obs.span "analysis.diagnostics" @@ fun () ->
-    Diagnostics.sort_diags (List.concat_map (fun sa -> Diagnostics.of_sub sa.sa_flow) subs)
+    List.concat_map (fun sa -> Diagnostics.of_sub sa.sa_flow) subs
   in
+  let strict_diags =
+    if not strict_types then []
+    else
+      let ty =
+        Obs.span "analysis.typecheck" @@ fun () ->
+        List.concat_map (fun sa -> Typecheck.of_sub sa.sa_scope) subs
+      in
+      let calls =
+        Obs.span "analysis.callcheck" @@ fun () ->
+        List.concat_map (fun sa -> Callcheck.of_sub sa.sa_scope) subs
+      in
+      ty @ calls
+  in
+  let diags = Diagnostics.sort_diags (diags @ strict_diags) in
   Obs.incr ~by:(List.length diags) "analysis.diagnostics";
-  { program_scope; summaries; subs; diags }
+  { program_scope; resolution; summaries; subs; diags; strict_types }
 
 let find_sub t ~module_ ~sub =
   List.find_opt (fun sa -> sa.sa_module = module_ && sa.sa_name = sub) t.subs
@@ -114,6 +133,8 @@ let check_oracle (t : t) (mg : MG.t) : Oracle.report = Oracle.check t.program_sc
 let report_json ?oracle (t : t) : string =
   let extra =
     ("subprograms", string_of_int (List.length t.subs))
+    :: ("symbols", string_of_int (Resolve.n_symbols t.resolution))
+    :: ("strict_types", string_of_bool t.strict_types)
     ::
     (match oracle with Some r -> [ ("oracle", Oracle.summary_json r) ] | None -> [])
   in

@@ -1,0 +1,20 @@
+(* Interprocedural call-contract checking.
+
+   Every [Call] statement and every function reference inside an
+   expression is checked against its callee candidates: arity
+   ([Arity_mismatch]), per-argument type/rank ([Type_mismatch], flagged
+   only when every matching-arity candidate rejects), and intent at the
+   call site ([Intent_at_call_site]: when every matching candidate
+   writes a formal, the actual must be something the callee may legally
+   store into — not a literal, compound expression, the caller's own
+   intent(in) formal, or a named constant).
+
+   The [intent_guard] fault family flips a callee formal from intent(in)
+   to intent(inout) and inserts a write to it; call sites passing
+   protected actuals then trip the intent check, tying lint findings to
+   campaign ground truth.
+
+   Unknown suppresses: calls to procedures with no visible candidate
+   (externals) are not checked. *)
+
+val of_sub : Scope.sub_scope -> Diagnostics.diag list

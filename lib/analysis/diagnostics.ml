@@ -3,11 +3,16 @@
 
    Severity policy: [Error] marks findings that are wrong under any
    reading of the Fortran standard (reading a variable no path has
-   assigned, writing an intent(in) formal).  [Warning] marks likely bugs
-   that a conservative analysis cannot promote (may-be-uninitialized,
-   dead stores, intent(out) formals never set, unreachable code).
-   [Info] marks hygiene findings (unused and shadowed declarations).
-   `rca_main lint` exits nonzero only on [Error]. *)
+   assigned, writing an intent(in) formal, a call that cannot match its
+   callee's contract).  [Warning] marks likely bugs that a conservative
+   analysis cannot promote (may-be-uninitialized, dead stores,
+   intent(out) formals never set, unreachable code, names falling back to
+   implicit typing).  [Info] marks hygiene findings (unused and shadowed
+   declarations).  `rca_main lint` exits nonzero only on [Error].
+
+   Every diagnostic carries the {!Resolve} symbol id it is about plus
+   that symbol's def-site file:line, so a finding can always be traced
+   from the report back to the declaration it concerns. *)
 
 type severity = Error | Warning | Info
 
@@ -16,10 +21,15 @@ type kind =
   | Use_maybe_uninit  (* some path reaches the use without a definition *)
   | Dead_assignment  (* value certainly never read *)
   | Unused_variable  (* declared, never referenced *)
-  | Shadowed_variable  (* local declaration hides a module variable *)
+  | Shadowed_variable  (* local declaration hides the module's own variable *)
+  | Shadowed_import  (* local declaration hides a use-imported variable *)
   | Write_to_intent_in
   | Intent_out_never_set  (* also: function result never assigned *)
   | Unreachable_code
+  | Undeclared_implicit  (* name resolved only by Fortran implicit typing *)
+  | Type_mismatch  (* assignment or operand with incompatible type/rank *)
+  | Arity_mismatch  (* call with no matching-arity candidate *)
+  | Intent_at_call_site  (* actual argument violates the callee's intent *)
 
 type diag = {
   kind : kind;
@@ -28,6 +38,9 @@ type diag = {
   dsub : string;
   line : int;
   var : string;  (* "" when the finding has no variable *)
+  sym : int;  (* Resolve symbol id the finding is about *)
+  def_file : string;  (* that symbol's def site *)
+  def_line : int;
   message : string;
 }
 
@@ -37,46 +50,71 @@ let kind_name = function
   | Dead_assignment -> "dead-assignment"
   | Unused_variable -> "unused-variable"
   | Shadowed_variable -> "shadowed-variable"
+  | Shadowed_import -> "shadowed-import"
   | Write_to_intent_in -> "write-to-intent-in"
   | Intent_out_never_set -> "intent-out-never-set"
   | Unreachable_code -> "unreachable-code"
+  | Undeclared_implicit -> "undeclared-implicit"
+  | Type_mismatch -> "type-mismatch"
+  | Arity_mismatch -> "arity-mismatch"
+  | Intent_at_call_site -> "intent-at-call-site"
 
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
 
 let all_kinds =
   [
     Use_before_def; Use_maybe_uninit; Dead_assignment; Unused_variable;
-    Shadowed_variable; Write_to_intent_in; Intent_out_never_set; Unreachable_code;
+    Shadowed_variable; Shadowed_import; Write_to_intent_in; Intent_out_never_set;
+    Unreachable_code; Undeclared_implicit; Type_mismatch; Arity_mismatch;
+    Intent_at_call_site;
   ]
 
 (* ---- per-subprogram pass ------------------------------------------------------ *)
 
+(* Diagnostics with no single concerned variable (unreachable code) are
+   attached to the enclosing subprogram's symbol. *)
+let sub_provenance res ~module_ ~sub =
+  match Resolve.sub_symbol res ~module_ sub with
+  | Some s -> (s.Resolve.sym_id, s.Resolve.sym_file, s.Resolve.sym_line)
+  | None -> (Resolve.no_symbol, "", 0)
+
+let var_provenance res (v : Scope.var) =
+  let s = Resolve.symbol res v.Scope.v_sym in
+  (s.Resolve.sym_id, s.Resolve.sym_file, s.Resolve.sym_line)
+
 let of_sub (flow : Dataflow.t) : diag list =
   let ss = flow.Dataflow.scope in
+  let res = Scope.resolution ss.Scope.ss_ps in
   let dmodule = ss.Scope.ss_module and dsub = ss.Scope.ss_sub.Rca_fortran.Ast.s_name in
-  let mk kind severity line var message = { kind; severity; dmodule; dsub; line; var; message } in
+  let mk kind severity line (prov : int * string * int) var message =
+    let sym, def_file, def_line = prov in
+    { kind; severity; dmodule; dsub; line; var; sym; def_file; def_line; message }
+  in
+  let vprov v = var_provenance res v in
   let out = ref [] in
   let add d = out := d :: !out in
   (* use-before-def *)
   List.iter
     (fun { Dataflow.uu_use = u; uu_class } ->
-      let name = u.Defuse.u_var.Scope.v_name in
+      let v = u.Defuse.u_var in
+      let name = v.Scope.v_name in
       match uu_class with
       | Dataflow.Definite ->
           add
-            (mk Use_before_def Error u.Defuse.u_line name
+            (mk Use_before_def Error u.Defuse.u_line (vprov v) name
                (Printf.sprintf "'%s' is read but never assigned on any path to this use" name))
       | Dataflow.Maybe ->
           add
-            (mk Use_maybe_uninit Warning u.Defuse.u_line name
+            (mk Use_maybe_uninit Warning u.Defuse.u_line (vprov v) name
                (Printf.sprintf "'%s' may be read before it is assigned" name)))
     (Dataflow.uninit_uses flow);
   (* dead assignments *)
   List.iter
     (fun (d : Defuse.def_site) ->
-      let name = d.Defuse.d_var.Scope.v_name in
+      let v = d.Defuse.d_var in
+      let name = v.Scope.v_name in
       add
-        (mk Dead_assignment Warning d.Defuse.d_line name
+        (mk Dead_assignment Warning d.Defuse.d_line (vprov v) name
            (Printf.sprintf "value assigned to '%s' is never read" name)))
     (Dataflow.dead_defs flow);
   (* writes to intent(in) formals *)
@@ -88,9 +126,10 @@ let of_sub (flow : Dataflow.t) : diag list =
             (fun (d : Defuse.def_site) ->
               match (d.Defuse.d_var.Scope.v_kind, d.Defuse.d_origin) with
               | Scope.Formal (Some Rca_fortran.Ast.In), (Defuse.From_assign | Defuse.From_loop | Defuse.From_call) ->
-                  let name = d.Defuse.d_var.Scope.v_name in
+                  let v = d.Defuse.d_var in
+                  let name = v.Scope.v_name in
                   add
-                    (mk Write_to_intent_in Error d.Defuse.d_line name
+                    (mk Write_to_intent_in Error d.Defuse.d_line (vprov v) name
                        (Printf.sprintf "intent(in) argument '%s' is assigned" name))
               | _ -> ())
             f.Defuse.defs)
@@ -105,29 +144,36 @@ let of_sub (flow : Dataflow.t) : diag list =
       (match v.Scope.v_kind with
       | Scope.Formal (Some Rca_fortran.Ast.Out) when not d ->
           add
-            (mk Intent_out_never_set Warning v.Scope.v_line v.Scope.v_name
+            (mk Intent_out_never_set Warning v.Scope.v_line (vprov v) v.Scope.v_name
                (Printf.sprintf "intent(out) argument '%s' is never assigned" v.Scope.v_name))
       | Scope.Result when not d ->
           add
-            (mk Intent_out_never_set Warning v.Scope.v_line v.Scope.v_name
+            (mk Intent_out_never_set Warning v.Scope.v_line (vprov v) v.Scope.v_name
                (Printf.sprintf "function result '%s' is never assigned" v.Scope.v_name))
       | Scope.Formal _ | Scope.Local _ ->
           if (not u) && not d then
             add
-              (mk Unused_variable Info v.Scope.v_line v.Scope.v_name
+              (mk Unused_variable Info v.Scope.v_line (vprov v) v.Scope.v_name
                  (Printf.sprintf "'%s' is declared but never used" v.Scope.v_name))
       | _ -> ());
       match (v.Scope.v_shadows, v.Scope.v_kind) with
       | Some owner, (Scope.Formal _ | Scope.Local _ | Scope.Result) ->
-          add
-            (mk Shadowed_variable Info v.Scope.v_line v.Scope.v_name
-               (Printf.sprintf "'%s' hides the module variable from '%s'" v.Scope.v_name owner))
+          if owner = dmodule then
+            add
+              (mk Shadowed_variable Info v.Scope.v_line (vprov v) v.Scope.v_name
+                 (Printf.sprintf "'%s' hides the module variable from '%s'" v.Scope.v_name owner))
+          else
+            add
+              (mk Shadowed_import Info v.Scope.v_line (vprov v) v.Scope.v_name
+                 (Printf.sprintf "'%s' hides the variable imported from '%s'" v.Scope.v_name
+                    owner))
       | _ -> ())
     (Scope.vars ss);
   (* unreachable statements *)
+  let sprov = sub_provenance res ~module_:dmodule ~sub:dsub in
   List.iter
     (fun line ->
-      add (mk Unreachable_code Warning line "" "statement can never execute"))
+      add (mk Unreachable_code Warning line sprov "" "statement can never execute"))
     (Cfg.unreachable_lines flow.Dataflow.cfg);
   List.rev !out
 
@@ -166,16 +212,17 @@ let json_escape s =
 
 let diag_json d =
   Printf.sprintf
-    {|{"kind":"%s","severity":"%s","module":"%s","subprogram":"%s","line":%d,"variable":"%s","message":"%s"}|}
+    {|{"kind":"%s","severity":"%s","module":"%s","subprogram":"%s","line":%d,"variable":"%s","symbol":%d,"def_file":"%s","def_line":%d,"message":"%s"}|}
     (kind_name d.kind) (severity_name d.severity) (json_escape d.dmodule)
-    (json_escape d.dsub) d.line (json_escape d.var) (json_escape d.message)
+    (json_escape d.dsub) d.line (json_escape d.var) d.sym (json_escape d.def_file)
+    d.def_line (json_escape d.message)
 
 (* Stable report: version, severity/kind summary, diagnostics sorted by
    (module, subprogram, line, kind, variable). *)
 let report_json ?(extra = []) (ds : diag list) =
   let ds = sort_diags ds in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"version\": 1,\n";
+  Buffer.add_string buf "{\n  \"version\": 2,\n";
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  \"%s\": %s,\n" (json_escape k) v))
     extra;

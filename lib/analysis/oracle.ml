@@ -44,37 +44,38 @@ let ok report = report.rp_mismatches = [] && report.rp_orphans = []
 type octx = {
   ps : Scope.program_scope;
   ms : Scope.module_scope;
+  res : Resolve.t;
   o_module : string;
   o_file : string;
   o_sub : string;
-  (* the metagraph's per-subprogram locals: formals, declared names, and
-     the function-result name (which for subroutines is the sub's own
-     name — a builder quirk the oracle must reproduce) *)
-  locals : (string, unit) Hashtbl.t;
   mutable line : int;
   mutable pairs_rev : pair list;
 }
 
-let is_variable ctx name = Hashtbl.mem ctx.locals name || Hashtbl.mem ctx.ms.Scope.ms_vars name
+(* The metagraph's per-subprogram locals — formals, declared names, and
+   the function-result name (which for subroutines is the sub's own name,
+   a builder quirk) — are exactly {!Resolve}'s subprogram scope, so
+   [is_variable] and reference resolution read the symbol table directly:
+   a 0-mismatch oracle run certifies the rename semantics-preserving. *)
+let lookup ctx name =
+  Resolve.lookup_var ctx.res ~module_:ctx.o_module ~sub:ctx.o_sub name
+
+let is_variable ctx name = lookup ctx name <> None
 
 let callables ctx name =
   Option.value ~default:[] (Hashtbl.find_opt ctx.ms.Scope.ms_subs name)
 
 let resolve_var ctx name : vref =
-  if Hashtbl.mem ctx.locals name then
-    { r_module = ctx.o_module; r_sub = ctx.o_sub; r_name = name }
-  else
-    match Hashtbl.find_opt ctx.ms.Scope.ms_vars name with
-    | Some (src_mod, src_name) -> { r_module = src_mod; r_sub = ""; r_name = src_name }
-    | None -> { r_module = ctx.o_module; r_sub = ctx.o_sub; r_name = name }
+  match lookup ctx name with
+  | Some { Resolve.sym_kind = Resolve.Smodule_var { owner; _ }; sym_name; _ } ->
+      { r_module = owner; r_sub = ""; r_name = sym_name }
+  | Some _ | None -> { r_module = ctx.o_module; r_sub = ctx.o_sub; r_name = name }
 
 let member_ref ctx base field : vref =
   let r_module, r_sub =
-    if Hashtbl.mem ctx.locals base then (ctx.o_module, ctx.o_sub)
-    else
-      match Hashtbl.find_opt ctx.ms.Scope.ms_vars base with
-      | Some (src_mod, _) -> (src_mod, "")
-      | None -> (ctx.o_module, ctx.o_sub)
+    match lookup ctx base with
+    | Some { Resolve.sym_kind = Resolve.Smodule_var { owner; _ }; _ } -> (owner, "")
+    | Some _ | None -> (ctx.o_module, ctx.o_sub)
   in
   { r_module; r_sub; r_name = base ^ "%" ^ field }
 
@@ -264,20 +265,14 @@ let static_pairs (ps : Scope.program_scope) : pair list =
       | Some ms ->
           List.concat_map
             (fun (s : Ast.subprogram) ->
-              let locals = Hashtbl.create 32 in
-              List.iter (fun a -> Hashtbl.replace locals a ()) s.Ast.s_args;
-              List.iter
-                (fun (d : Ast.decl) -> Hashtbl.replace locals d.Ast.d_name ())
-                s.Ast.s_decls;
-              Hashtbl.replace locals (Ast.function_result_name s) ();
               let ctx =
                 {
                   ps;
                   ms;
+                  res = Scope.resolution ps;
                   o_module = mu.Ast.m_name;
                   o_file = mu.Ast.m_file;
                   o_sub = s.Ast.s_name;
-                  locals;
                   line = s.Ast.s_line;
                   pairs_rev = [];
                 }

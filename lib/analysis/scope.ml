@@ -1,13 +1,14 @@
 (* Name resolution for the static analyzer.
 
-   The dataflow pass needs the same visibility rules the metagraph builder
-   applies — module variables with use-association (only-lists, renames, no
-   chained use), subprogram candidates including named interfaces, locals
-   shadowing module names — but rebuilt independently from the AST so the
-   two implementations can be compared differentially.  Per-subprogram
-   variable tables additionally classify every name (formal with intent,
-   declared local, function result, resolved module variable, implicit)
-   and assign the dense integer ids the bitvector dataflow runs on. *)
+   Visibility is delegated to {!Resolve}: every dataflow variable carries
+   the symbol id of the declaration it refers to, so shadowing, renames
+   and implicit typing are decided once, in the resolver, and the
+   bitvector dataflow / diagnostics / oracle layers all agree on what a
+   name means.  This module keeps what the dataflow pass needs on top of
+   the symbol table: per-module callable candidates (own subprograms,
+   named interfaces, use-imports), syntactic read/write summaries per
+   formal, and the per-subprogram dense variable ids the bitvectors run
+   on. *)
 
 open Rca_fortran
 
@@ -17,37 +18,25 @@ type callable = { c_module : string; c_sub : Ast.subprogram }
 
 type module_scope = {
   ms_unit : Ast.module_unit;
-  (* local name -> (defining module, defining name); renames resolved *)
-  ms_vars : (string, string * string) Hashtbl.t;
   (* local name -> candidate procedures (own, imported, named interfaces) *)
   ms_subs : (string, callable list) Hashtbl.t;
-  (* defining module name -> decl, for shadowing lookups *)
-  ms_var_decl : (string, Ast.decl) Hashtbl.t;
 }
 
 type program_scope = {
   by_module : (string, module_scope) Hashtbl.t;
   prog : Ast.program;
+  ps_res : Resolve.t;
 }
 
-let of_program (prog : Ast.program) : program_scope =
+let of_program ?resolution (prog : Ast.program) : program_scope =
+  let ps_res =
+    match resolution with Some r -> r | None -> Resolve.program prog
+  in
   let by_module = Hashtbl.create 64 in
-  (* pass 1: names each module owns *)
+  (* pass 1: callables each module owns *)
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let ms =
-        {
-          ms_unit = mu;
-          ms_vars = Hashtbl.create 32;
-          ms_subs = Hashtbl.create 16;
-          ms_var_decl = Hashtbl.create 32;
-        }
-      in
-      List.iter
-        (fun (d : Ast.decl) ->
-          Hashtbl.replace ms.ms_vars d.Ast.d_name (mu.Ast.m_name, d.Ast.d_name);
-          Hashtbl.replace ms.ms_var_decl d.Ast.d_name d)
-        mu.Ast.m_decls;
+      let ms = { ms_unit = mu; ms_subs = Hashtbl.create 16 } in
       List.iter
         (fun (s : Ast.subprogram) ->
           let c = { c_module = mu.Ast.m_name; c_sub = s } in
@@ -70,53 +59,44 @@ let of_program (prog : Ast.program) : program_scope =
         mu.Ast.m_interfaces;
       Hashtbl.replace by_module mu.Ast.m_name ms)
     prog;
-  (* pass 2: imports; only names the source module itself owns (no chains) *)
+  (* pass 2: imported callables; only those the source module itself owns
+     (no chains) *)
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let ms = Hashtbl.find by_module mu.Ast.m_name in
-      List.iter
-        (fun (u : Ast.use_stmt) ->
-          match Hashtbl.find_opt by_module u.Ast.u_module with
-          | None -> ()
-          | Some src ->
-              let import_var local remote =
-                match Hashtbl.find_opt src.ms_vars remote with
-                | Some ((srcm, _) as target) when srcm = u.Ast.u_module ->
-                    Hashtbl.replace ms.ms_vars local target
-                | _ -> ()
-              in
-              let import_sub local remote =
-                match Hashtbl.find_opt src.ms_subs remote with
-                | Some cands ->
-                    let owned =
-                      List.filter (fun c -> c.c_module = u.Ast.u_module) cands
-                    in
-                    if owned <> [] then Hashtbl.replace ms.ms_subs local owned
-                | None -> ()
-              in
-              (match u.Ast.u_only with
-              | Some pairs ->
-                  List.iter
-                    (fun (local, remote) ->
-                      import_var local remote;
-                      import_sub local remote)
-                    pairs
-              | None ->
-                  List.iter
-                    (fun (d : Ast.decl) -> import_var d.Ast.d_name d.Ast.d_name)
-                    src.ms_unit.Ast.m_decls;
-                  List.iter
-                    (fun (s : Ast.subprogram) -> import_sub s.Ast.s_name s.Ast.s_name)
-                    src.ms_unit.Ast.m_subprograms;
-                  List.iter
-                    (fun (i : Ast.interface_def) ->
-                      if i.Ast.i_name <> "" then import_sub i.Ast.i_name i.Ast.i_name)
-                    src.ms_unit.Ast.m_interfaces))
-        mu.Ast.m_uses)
+      match Hashtbl.find_opt by_module mu.Ast.m_name with
+      | None -> ()
+      | Some ms ->
+          List.iter
+            (fun (u : Ast.use_stmt) ->
+              match Hashtbl.find_opt by_module u.Ast.u_module with
+              | None -> ()
+              | Some src ->
+                  let import_sub local remote =
+                    match Hashtbl.find_opt src.ms_subs remote with
+                    | Some cands ->
+                        let owned =
+                          List.filter (fun c -> c.c_module = u.Ast.u_module) cands
+                        in
+                        if owned <> [] then Hashtbl.replace ms.ms_subs local owned
+                    | None -> ()
+                  in
+                  (match u.Ast.u_only with
+                  | Some pairs ->
+                      List.iter (fun (local, remote) -> import_sub local remote) pairs
+                  | None ->
+                      List.iter
+                        (fun (s : Ast.subprogram) -> import_sub s.Ast.s_name s.Ast.s_name)
+                        src.ms_unit.Ast.m_subprograms;
+                      List.iter
+                        (fun (i : Ast.interface_def) ->
+                          if i.Ast.i_name <> "" then import_sub i.Ast.i_name i.Ast.i_name)
+                        src.ms_unit.Ast.m_interfaces))
+            mu.Ast.m_uses)
     prog;
-  { by_module; prog }
+  { by_module; prog; ps_res }
 
 let module_scope ps name = Hashtbl.find_opt ps.by_module name
+let resolution ps = ps.ps_res
 
 (* ---- interprocedural summaries --------------------------------------------- *)
 
@@ -134,7 +114,12 @@ let compute_summaries (ps : program_scope) : summaries =
   let out : summaries = Hashtbl.create 128 in
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let ms = Hashtbl.find ps.by_module mu.Ast.m_name in
+      let ms =
+        match Hashtbl.find_opt ps.by_module mu.Ast.m_name with
+        | Some ms -> ms
+        | None ->
+            invalid_arg ("Scope.compute_summaries: unknown module " ^ mu.Ast.m_name)
+      in
       List.iter
         (fun (s : Ast.subprogram) ->
           let formals = Hashtbl.create 8 in
@@ -269,6 +254,7 @@ type var = {
   v_name : string;  (* name as written in this subprogram, e.g. "qc" or "state%q" *)
   v_kind : var_kind;
   v_line : int;  (* declaration line; 0 when there is none *)
+  v_sym : int;  (* id in the Resolve symbol table *)
   v_shadows : string option;  (* module owning a module-level binding this hides *)
 }
 
@@ -291,20 +277,55 @@ let find_var ss name = Hashtbl.find_opt ss.by_name name
 
 (* The metagraph treats names in this priority: local declaration, then
    module variable, then (for indexed names only) callable / intrinsic,
-   then implicit local.  [lookup_var] is the variable-only part. *)
+   then implicit local.  Interning computes the variable's symbol from
+   its kind, so the dataflow id and the resolver id always agree. *)
 let intern ss name kind line =
   match Hashtbl.find_opt ss.by_name name with
   | Some v -> v
   | None ->
+      let res = ss.ss_ps.ps_res in
+      let module_ = ss.ss_module and sub = ss.ss_sub.Ast.s_name in
+      let sym_of = function
+        | Formal _ | Local _ | Result -> (
+            match Resolve.lookup_local res ~module_ ~sub name with
+            | Some s -> s.Resolve.sym_id
+            | None ->
+                (Resolve.intern_implicit res ~module_ ~sub ~line name).Resolve.sym_id)
+        | Module_var _ -> (
+            match Resolve.module_var res ~module_ name with
+            | Some s -> s.Resolve.sym_id
+            | None ->
+                (Resolve.intern_implicit res ~module_ ~sub ~line name).Resolve.sym_id)
+        | Member { base } ->
+            let field =
+              let n = String.length name and b = String.length base in
+              String.sub name (b + 1) (n - b - 1)
+            in
+            (Resolve.resolve_member res ~module_ ~sub ~line ~base field).Resolve.sym_id
+        | Implicit ->
+            (Resolve.intern_implicit res ~module_ ~sub ~line name).Resolve.sym_id
+      in
       let shadows =
         match kind with
         | Formal _ | Local _ | Result -> (
-            match Hashtbl.find_opt ss.ss_ms.ms_vars name with
-            | Some (m, _) -> Some m
+            match Resolve.module_var res ~module_ name with
+            | Some s -> (
+                match s.Resolve.sym_kind with
+                | Resolve.Smodule_var { owner; _ } -> Some owner
+                | _ -> Some s.Resolve.sym_module)
             | None -> None)
         | _ -> None
       in
-      let v = { v_id = ss.n_vars; v_name = name; v_kind = kind; v_line = line; v_shadows = shadows } in
+      let v =
+        {
+          v_id = ss.n_vars;
+          v_name = name;
+          v_kind = kind;
+          v_line = line;
+          v_sym = sym_of kind;
+          v_shadows = shadows;
+        }
+      in
       ss.n_vars <- ss.n_vars + 1;
       ss.vars_rev <- v :: ss.vars_rev;
       Hashtbl.replace ss.by_name name v;
@@ -369,8 +390,14 @@ let resolve ss name line =
   match Hashtbl.find_opt ss.by_name name with
   | Some v -> v
   | None -> (
-      match Hashtbl.find_opt ss.ss_ms.ms_vars name with
-      | Some (vmodule, vname) -> intern ss name (Module_var { vmodule; vname }) line
+      match Resolve.module_var ss.ss_ps.ps_res ~module_:ss.ss_module name with
+      | Some s ->
+          let vmodule, vname =
+            match s.Resolve.sym_kind with
+            | Resolve.Smodule_var { owner; _ } -> (owner, s.Resolve.sym_name)
+            | _ -> (s.Resolve.sym_module, s.Resolve.sym_name)
+          in
+          intern ss name (Module_var { vmodule; vname }) line
       | None -> intern ss name Implicit line)
 
 (* Member chains: one atomic variable per (base, final component), named
@@ -380,7 +407,8 @@ let resolve_member ss base field line =
   intern ss (base ^ "%" ^ field) (Member { base }) line
 
 let is_declared_var ss name =
-  Hashtbl.mem ss.by_name name || Hashtbl.mem ss.ss_ms.ms_vars name
+  Hashtbl.mem ss.by_name name
+  || Resolve.module_var ss.ss_ps.ps_res ~module_:ss.ss_module name <> None
 
 (* Exactly the metagraph builder's [is_variable]: a name declared in this
    subprogram (formal, local, result) or visible as a module variable.
@@ -392,7 +420,7 @@ let is_metagraph_variable ss name =
   || name = Ast.function_result_name ss.ss_sub
      (* the metagraph builder seeds its locals with the result name, which
         for a subroutine is the subprogram's own name — mirror that *)
-  || Hashtbl.mem ss.ss_ms.ms_vars name
+  || Resolve.module_var ss.ss_ps.ps_res ~module_:ss.ss_module name <> None
 
 let callables ss name =
   Option.value ~default:[] (Hashtbl.find_opt ss.ss_ms.ms_subs name)
@@ -438,7 +466,8 @@ let metagraph_key ss (v : var) =
           (vmodule, "", base ^ "%" ^ field)
       | Some _ -> (ss.ss_module, ss.ss_sub.Ast.s_name, base ^ "%" ^ field)
       | None -> (
-          match Hashtbl.find_opt ss.ss_ms.ms_vars base with
-          | Some (vmodule, _) -> (vmodule, "", base ^ "%" ^ field)
-          | None -> (ss.ss_module, ss.ss_sub.Ast.s_name, base ^ "%" ^ field)))
+          match Resolve.module_var ss.ss_ps.ps_res ~module_:ss.ss_module base with
+          | Some { Resolve.sym_kind = Resolve.Smodule_var { owner; _ }; _ } ->
+              (owner, "", base ^ "%" ^ field)
+          | Some _ | None -> (ss.ss_module, ss.ss_sub.Ast.s_name, base ^ "%" ^ field)))
   | _ -> (ss.ss_module, ss.ss_sub.Ast.s_name, v.v_name)

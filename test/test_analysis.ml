@@ -329,8 +329,195 @@ let json_report_is_stable () =
       "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: t\ny = t\nend subroutine\nend module m"
   in
   let json = A.report_json an in
-  check_bool "has version" true (contains_substring json "\"version\": 1");
-  check_bool "has the finding" true (contains_substring json "\"use-before-def\"")
+  check_bool "has version" true (contains_substring json "\"version\": 2");
+  check_bool "has the finding" true (contains_substring json "\"use-before-def\"");
+  check_bool "has symbol field" true (contains_substring json "\"symbol\":");
+  check_bool "has def provenance" true (contains_substring json "\"def_file\":")
+
+(* --- resolver: adversarial scoping ------------------------------------------------ *)
+
+module R = Rca_analysis.Resolve
+
+let analyze_strict src = A.analyze ~strict_types:true (parse src)
+
+let resolution src = (analyze src).A.resolution
+
+let resolver_dummy_arg_shadows_module_var () =
+  let res =
+    resolution
+      "module m\nreal(r8) :: x\ncontains\nsubroutine s(x)\nreal(r8), intent(in) :: x\nend subroutine\nend module m"
+  in
+  let formal =
+    match R.lookup_var res ~module_:"m" ~sub:"s" "x" with
+    | Some s -> s
+    | None -> Alcotest.fail "dummy arg did not resolve"
+  in
+  let modvar =
+    match R.module_var res ~module_:"m" "x" with
+    | Some s -> s
+    | None -> Alcotest.fail "module var did not resolve"
+  in
+  check_bool "inside the sub, x is the formal" true
+    (match formal.R.sym_kind with R.Sformal (Some Ast.In) -> true | _ -> false);
+  check_bool "module scope still holds its own x" true
+    (match modvar.R.sym_kind with R.Smodule_var { owner = "m"; _ } -> true | _ -> false);
+  check_bool "two distinct symbols" true (formal.R.sym_id <> modvar.R.sym_id);
+  check_int "formal def site" 5 formal.R.sym_line;
+  check_int "module var def site" 2 modvar.R.sym_line
+
+let resolver_import_redeclared_locally () =
+  let src =
+    "module a\nreal(r8) :: v\ncontains\nsubroutine nop()\nend subroutine\nend module a\nmodule m\nuse a\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: v\nv = 1.0\ny = v\nend subroutine\nend module m"
+  in
+  let res = resolution src in
+  (* the local declaration wins inside the sub; the import stays visible
+     at module scope with its def site in module a *)
+  check_bool "local v wins in the sub" true
+    (match R.lookup_var res ~module_:"m" ~sub:"s" "v" with
+    | Some { R.sym_kind = R.Slocal _; sym_sub = "s"; _ } -> true
+    | _ -> false);
+  check_bool "import still visible at module scope, owned by a" true
+    (match R.module_var res ~module_:"m" "v" with
+    | Some { R.sym_kind = R.Smodule_var { owner = "a"; _ }; _ } -> true
+    | _ -> false);
+  match of_kind D.Shadowed_import (diags src) with
+  | [ d ] ->
+      Alcotest.(check string) "shadowing local" "v" d.D.var;
+      check_bool "info severity" true (d.D.severity = D.Info)
+  | ds -> Alcotest.failf "expected one shadowed-import, got %d" (List.length ds)
+
+let resolver_same_named_locals_distinct () =
+  let res =
+    resolution
+      "module m\ncontains\nsubroutine s1()\nreal(r8) :: tmp\ntmp = 1.0\nend subroutine\nsubroutine s2()\ninteger :: tmp\ntmp = 2\nend subroutine\nend module m"
+  in
+  let t1 =
+    match R.lookup_local res ~module_:"m" ~sub:"s1" "tmp" with
+    | Some s -> s
+    | None -> Alcotest.fail "tmp in s1 missing"
+  in
+  let t2 =
+    match R.lookup_local res ~module_:"m" ~sub:"s2" "tmp" with
+    | Some s -> s
+    | None -> Alcotest.fail "tmp in s2 missing"
+  in
+  check_bool "distinct symbols" true (t1.R.sym_id <> t2.R.sym_id);
+  Alcotest.(check string) "scoped to s1" "s1" t1.R.sym_sub;
+  Alcotest.(check string) "scoped to s2" "s2" t2.R.sym_sub;
+  Alcotest.(check (option string)) "s1's tmp is real" (Some "real")
+    (Option.map R.ty_str t1.R.sym_ty);
+  Alcotest.(check (option string)) "s2's tmp is integer" (Some "integer")
+    (Option.map R.ty_str t2.R.sym_ty)
+
+let resolver_undeclared_name_goes_implicit () =
+  let src =
+    "module m\nreal(r8) :: g\ncontains\nsubroutine s()\ng = undeclared_r + i_count\nend subroutine\nend module m"
+  in
+  let an = analyze_strict src in
+  let res = an.A.resolution in
+  (* implicits never count as visible variables... *)
+  check_bool "not visible to lookup_var" true
+    (R.lookup_var res ~module_:"m" ~sub:"s" "undeclared_r" = None);
+  (* ...but the pre-walk interned them with Fortran implicit types *)
+  let imps = R.implicits_of_sub res ~module_:"m" ~sub:"s" in
+  check_int "two implicit symbols" 2 (List.length imps);
+  let ty_of name =
+    match List.find_opt (fun s -> s.R.sym_name = name) imps with
+    | Some { R.sym_ty = Some t; _ } -> R.ty_str t
+    | _ -> Alcotest.failf "implicit %s missing" name
+  in
+  Alcotest.(check string) "i..n rule" "integer" (ty_of "i_count");
+  Alcotest.(check string) "default real" "real" (ty_of "undeclared_r");
+  check_int "strict mode warns per implicit" 2
+    (List.length (of_kind D.Undeclared_implicit an.A.diags))
+
+let resolver_signature_roundtrip () =
+  (* resolved -> pretty-printed -> reparsed -> re-resolved must keep the
+     same line-number-free symbol structure *)
+  let fixture = Rca_experiments.Fixture.make Rca_synth.Config.tiny in
+  let prog = fixture.Rca_experiments.Fixture.clean_program in
+  let sig1 = R.signature (R.program prog) in
+  let text = Pretty.program_to_string prog in
+  let prog2 = Parser.parse_file ~strict:false ~file:"roundtrip.F90" text in
+  let sig2 = R.signature (R.program prog2) in
+  check_int "symbol population preserved" (List.length sig1) (List.length sig2);
+  check_bool "identical structural signature" true (sig1 = sig2)
+
+(* --- strict types: typecheck -------------------------------------------------------- *)
+
+let strict_kind k src = of_kind k (analyze_strict src).A.diags
+
+let typecheck_assignment_mismatch () =
+  let src =
+    "module m\ncontains\nsubroutine s()\nreal(r8) :: x\nlogical :: flag\nflag = .true.\nx = flag\nend subroutine\nend module m"
+  in
+  (match strict_kind D.Type_mismatch src with
+  | [ d ] ->
+      check_bool "error severity" true (d.D.severity = D.Error);
+      check_int "line" 7 d.D.line
+  | ds -> Alcotest.failf "expected one type-mismatch, got %d" (List.length ds));
+  (* without --strict-types the checker does not run at all *)
+  check_int "gated behind strict mode" 0 (List.length (of_kind D.Type_mismatch (diags src)))
+
+let typecheck_rank_mismatch () =
+  let src =
+    "module m\ncontains\nsubroutine s()\nreal(r8) :: a(10)\nreal(r8) :: b(10,10)\nb = 0.0\na = b\nend subroutine\nend module m"
+  in
+  match strict_kind D.Type_mismatch src with
+  | [ d ] -> check_int "rank conflict line" 7 d.D.line
+  | ds -> Alcotest.failf "expected one rank mismatch, got %d" (List.length ds)
+
+let typecheck_broadcast_is_clean () =
+  (* scalar -> array broadcast, int <-> real conversion, unknown-typed
+     intrinsics: all legal, zero strict findings *)
+  let src =
+    "module m\ncontains\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: a(10)\ninteger :: i\na = 0.0\ndo i = 1, 10\na(i) = sqrt(real(i))\nend do\ny = a(1) + i\nend subroutine\nend module m"
+  in
+  let an = analyze_strict src in
+  check_int "no strict errors" 0 (List.length (A.errors an))
+
+(* --- strict types: callcheck -------------------------------------------------------- *)
+
+let callcheck_arity_mismatch () =
+  let src =
+    "module m\ncontains\nsubroutine callee(a, b)\nreal(r8), intent(in) :: a, b\nend subroutine\nsubroutine s()\nreal(r8) :: x\nx = 1.0\ncall callee(x)\nend subroutine\nend module m"
+  in
+  match strict_kind D.Arity_mismatch src with
+  | [ d ] ->
+      check_bool "error severity" true (d.D.severity = D.Error);
+      check_int "call site" 9 d.D.line;
+      (* provenance points at the callee's definition, not the call *)
+      check_int "callee def site" 3 d.D.def_line
+  | ds -> Alcotest.failf "expected one arity mismatch, got %d" (List.length ds)
+
+let callcheck_argument_type_mismatch () =
+  let src =
+    "module m\ncontains\nsubroutine callee(flag)\nlogical, intent(in) :: flag\nend subroutine\nsubroutine s()\nreal(r8) :: x\nx = 1.0\ncall callee(x)\nend subroutine\nend module m"
+  in
+  match strict_kind D.Type_mismatch src with
+  | [ d ] -> check_int "call site" 9 d.D.line
+  | ds -> Alcotest.failf "expected one argument type mismatch, got %d" (List.length ds)
+
+let callcheck_intent_at_call_site () =
+  (* three protected actuals against a written formal: a literal, the
+     caller's own intent(in) formal, and a module-level named constant *)
+  let src =
+    "module m\nreal(r8), parameter :: pc = 2.0_r8\ncontains\nsubroutine callee(a)\nreal(r8), intent(inout) :: a\na = a + 1.0\nend subroutine\nsubroutine s(z)\nreal(r8), intent(in) :: z\ncall callee(1.0)\ncall callee(z)\ncall callee(pc)\nend subroutine\nend module m"
+  in
+  let hits = strict_kind D.Intent_at_call_site src in
+  check_int "all three protected actuals flagged" 3 (List.length hits);
+  let has needle =
+    List.exists (fun d -> contains_substring d.D.message needle) hits
+  in
+  check_bool "literal actual" true (has "is not a variable");
+  check_bool "caller's intent(in) formal" true (has "intent(in) argument 'z'");
+  check_bool "module named constant" true (has "named constant 'pc'")
+
+let callcheck_writable_actual_is_clean () =
+  let src =
+    "module m\ncontains\nsubroutine callee(a)\nreal(r8), intent(inout) :: a\na = a + 1.0\nend subroutine\nsubroutine s(y)\nreal(r8), intent(out) :: y\nreal(r8) :: t\nt = 0.0\ncall callee(t)\ny = t\nend subroutine\nend module m"
+  in
+  check_int "no intent findings" 0 (List.length (strict_kind D.Intent_at_call_site src))
 
 let () =
   Alcotest.run "rca_analysis"
@@ -380,4 +567,31 @@ let () =
         ] );
       ( "report",
         [ Alcotest.test_case "json stable" `Quick json_report_is_stable ] );
+      ( "resolver",
+        [
+          Alcotest.test_case "dummy arg shadows module var" `Quick
+            resolver_dummy_arg_shadows_module_var;
+          Alcotest.test_case "import redeclared locally" `Quick
+            resolver_import_redeclared_locally;
+          Alcotest.test_case "same-named locals distinct" `Quick
+            resolver_same_named_locals_distinct;
+          Alcotest.test_case "undeclared goes implicit" `Quick
+            resolver_undeclared_name_goes_implicit;
+          Alcotest.test_case "signature round-trip" `Quick resolver_signature_roundtrip;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "assignment mismatch" `Quick typecheck_assignment_mismatch;
+          Alcotest.test_case "rank mismatch" `Quick typecheck_rank_mismatch;
+          Alcotest.test_case "broadcast clean" `Quick typecheck_broadcast_is_clean;
+        ] );
+      ( "callcheck",
+        [
+          Alcotest.test_case "arity mismatch" `Quick callcheck_arity_mismatch;
+          Alcotest.test_case "argument type mismatch" `Quick
+            callcheck_argument_type_mismatch;
+          Alcotest.test_case "intent at call site" `Quick callcheck_intent_at_call_site;
+          Alcotest.test_case "writable actual clean" `Quick
+            callcheck_writable_actual_is_clean;
+        ] );
     ]

@@ -132,6 +132,30 @@ let corpus_injections_apply () =
           (file_text bugged f.Fault.file <> file_text (Lazy.force srcs) f.Fault.file))
     c.Corpus.faults
 
+(* Satellite acceptance: the intent_guard family must be visible to the
+   static call-contract checker — injecting the fault and re-linting with
+   strict types flags at least one call site passing a protected actual
+   into the now-written formal. *)
+let intent_guard_flagged_by_callcheck () =
+  let module A = Rca_analysis.Analysis in
+  let module D = Rca_analysis.Diagnostics in
+  let c = Lazy.force corpus in
+  let guards =
+    List.filter (fun f -> f.Fault.family = Fault.Intent_guard) c.Corpus.faults
+  in
+  check_bool "corpus mined intent_guard faults" true (guards <> []);
+  let fx = Lazy.force fixture in
+  let trips (f : Fault.t) =
+    let bugged = f.Fault.inject fx.Rca_experiments.Fixture.clean_sources in
+    let an = A.analyze ~strict_types:true (Model.parse_program bugged) in
+    List.exists (fun d -> d.D.kind = D.Intent_at_call_site) an.A.diags
+  in
+  let flagged = List.filter trips guards in
+  check_bool "at least one fault trips the call-site intent check" true (flagged <> []);
+  (* the clean model must not: zero strict errors without a fault *)
+  let clean = A.analyze ~strict_types:true (Model.parse_program fx.Rca_experiments.Fixture.clean_sources) in
+  check_int "clean model has no strict errors" 0 (List.length (A.errors clean))
+
 (* --- campaign determinism --------------------------------------------------- *)
 
 let mini_params () =
@@ -354,6 +378,8 @@ let () =
             corpus_ids_unique_and_ground_truth_resolves;
           Alcotest.test_case "same-seed determinism" `Quick corpus_same_seed_identical;
           Alcotest.test_case "injections apply" `Quick corpus_injections_apply;
+          Alcotest.test_case "intent_guard visible to callcheck" `Quick
+            intent_guard_flagged_by_callcheck;
         ] );
       ( "campaign",
         [
