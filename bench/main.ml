@@ -1072,10 +1072,17 @@ let run_campaign_bench ~json ~trace ~domains ~partitioner () =
    Unix socket, and drive it: an identity check (a served default query
    must equal an in-process single-shot pipeline field for field), a
    cold pass over distinct single-target keys, a warm repeat of the
-   same keys, and a 6-connection stampede on one fresh key to observe
-   request coalescing.  Gates: load speedup >= 50, warm p50 < cold p50,
-   zero protocol errors, identity.  Telemetry goes to BENCH_serve.json
-   (or the --json path). *)
+   same keys, a 6-connection stampede on one fresh key to observe
+   request coalescing, a concurrency pass (cached queries must stay
+   fast while a slow exact-GN job occupies the work queue), and a
+   restart pass (graceful shutdown persists the cache sidecar; a fresh
+   daemon reloads it and answers warm).  Gates: load speedup >= 50,
+   warm p50 < cold p50, zero protocol errors, identity (including
+   after restart), stampede coalesced, concurrent fast p50 < cold p50
+   with the p99 tail bounded by half the slow job's runtime, and
+   warm-restart p50 within 2x of warm p50.  Telemetry goes to
+   BENCH_serve.json (or the --json path); the sidecar stays in the CWD
+   as BENCH_serve.cache for CI artifact upload. *)
 let run_serve_bench ~json () =
   hr ();
   let module Snap = Rca_serve.Snapshot in
@@ -1143,17 +1150,26 @@ let run_serve_bench ~json () =
       Printf.printf
         "snapshot: build %8.1f ms   save %6.1f ms   load %6.1f ms   speedup %.0fx\n%!"
         t_build t_save t_load speedup;
-      (* 3. fork the daemon over the loaded snapshot *)
-      flush stdout;
-      flush stderr;
-      let child =
+      (* 3. fork the daemon over the loaded snapshot.  The persisted-cache
+         sidecar lands in the CWD so CI can pick it up as an artifact; a
+         stale one from a previous run is removed so the first daemon
+         starts provably cold. *)
+      let cache_path = "BENCH_serve.cache" in
+      if Sys.file_exists cache_path then Sys.remove cache_path;
+      let fork_daemon () =
+        flush stdout;
+        flush stderr;
         match Unix.fork () with
         | 0 ->
-            (try ignore (Server.serve ~cache_capacity:64 (`Unix sock_path) loaded)
+            (try
+               ignore
+                 (Server.serve ~cache_capacity:64 ~workers:1 ~cache_path
+                    (`Unix sock_path) loaded)
              with _ -> ());
             Unix._exit 0
         | pid -> pid
       in
+      let child = fork_daemon () in
       let connect_retry () =
         let rec go attempts =
           match Client.connect (`Unix sock_path) with
@@ -1199,31 +1215,31 @@ let run_serve_bench ~json () =
           ~detect:(Rca_core.Detector.reachability mg ~bug_nodes)
       in
       let ref_result = reference.Rca_core.Pipeline.result in
-      let served =
-        get_reply (query [ ("detector", J.Str "gn"); ("gn_approx", J.num 128) ])
-      in
-      let served_candidates =
-        match Option.bind (J.member "candidates" served) J.list_opt with
-        | None -> failwith "missing candidates"
-        | Some items ->
-            List.map
-              (fun item ->
-                ( field_str item "name",
-                  field_str item "module",
-                  field_str item "subprogram",
-                  field_int item "line" ))
-              items
-      in
-      let served_located =
-        match Option.bind (J.member "located_bugs" served) J.list_opt with
-        | None -> failwith "missing located_bugs"
-        | Some items -> List.filter_map J.string_opt items
-      in
       let ref_located =
         Rca_core.Pipeline.located_bugs mg reference ~bug_nodes
         |> List.map (fun id -> (MG.node mg id).MG.unique)
       in
-      let identity =
+      (* Field-for-field comparison of a served default-query reply
+         against the in-process reference; reused after the warm restart
+         to confirm the reloaded cache replays the same payload. *)
+      let payload_matches served =
+        let served_candidates =
+          match Option.bind (J.member "candidates" served) J.list_opt with
+          | None -> failwith "missing candidates"
+          | Some items ->
+              List.map
+                (fun item ->
+                  ( field_str item "name",
+                    field_str item "module",
+                    field_str item "subprogram",
+                    field_int item "line" ))
+                items
+        in
+        let served_located =
+          match Option.bind (J.member "located_bugs" served) J.list_opt with
+          | None -> failwith "missing located_bugs"
+          | Some items -> List.filter_map J.string_opt items
+        in
         field_int served "slice_nodes"
         = List.length reference.Rca_core.Pipeline.slice.Rca_core.Slice.nodes
         && field_int served "iterations"
@@ -1235,6 +1251,10 @@ let run_serve_bench ~json () =
         && served_candidates = Rca_core.Pipeline.candidates mg reference
         && served_located = ref_located
       in
+      let served =
+        get_reply (query [ ("detector", J.Str "gn"); ("gn_approx", J.num 128) ])
+      in
+      let identity = payload_matches served in
       Printf.printf "identity vs single-shot pipeline: %b\n%!" identity;
       (* 5. cold pass: distinct single-target keys, fast detector *)
       let labels =
@@ -1313,7 +1333,50 @@ let run_serve_bench ~json () =
       let n_coalesced = List.length (List.filter Fun.id coalesced_replies) in
       Printf.printf "stampede: 6 connections, %d coalesced\n%!" n_coalesced;
       List.iter Client.close (blocker :: burst_conns);
-      (* 7. stats, shutdown, join *)
+      (* 7. concurrency: park a slow exact-GN refinement on the work
+         queue, then hammer warm cached keys on a separate connection.
+         With compute off the reactor the cached replies must not queue
+         behind the slow job: their p99 stays under the cold p50. *)
+      let slow_conn = connect_retry () in
+      Client.send slow_conn
+        (J.Obj
+           [
+             ("op", J.Str "query");
+             ("detector", J.Str "gn");
+             ("stop_size", J.num 1);
+             ("max_iterations", J.num 50);
+           ]);
+      Unix.sleepf 0.02;
+      let n_labels = List.length labels in
+      let concurrent =
+        List.init 100 (fun i ->
+            let label = List.nth labels (i mod n_labels) in
+            let r, t = one label in
+            if
+              Option.bind (J.member "cached" r) (function
+                | J.Bool b -> Some b
+                | _ -> None)
+              <> Some true
+            then failwith ("concurrent fast query not cached: " ^ label);
+            t)
+      in
+      let slow_ms =
+        match Client.recv slow_conn with
+        | Ok r ->
+            if J.member "status" r <> Some (J.Str "ok") then
+              failwith ("slow query error reply: " ^ J.to_string r);
+            (match J.member "elapsed_ms" r with
+            | Some (J.Num f) -> f
+            | _ -> failwith "slow reply missing elapsed_ms")
+        | Error msg -> failwith ("slow query failed: " ^ msg)
+      in
+      Client.close slow_conn;
+      let concurrent_p50 = percentile concurrent 0.5 in
+      let concurrent_p99 = percentile concurrent 0.99 in
+      Printf.printf
+        "concurrency: %d cached queries beside a %.0f ms job   p50 %8.2f ms  p99 %8.2f ms (cold p50 %.2f ms)\n%!"
+        (List.length concurrent) slow_ms concurrent_p50 concurrent_p99 cold_p50;
+      (* 8. stats, graceful shutdown (persists the cache sidecar), join *)
       let stats =
         match Client.request conn (J.Obj [ ("op", J.Str "stats") ]) with
         | Ok r -> r
@@ -1327,14 +1390,81 @@ let run_serve_bench ~json () =
       ignore (Unix.waitpid [] child);
       Printf.printf "daemon: served %d, errors %d, cache hits %d\n%!" served_total errors
         cache_hits;
-      (* gates *)
+      (* 9. restart: a fresh daemon over the same snapshot and sidecar
+         must come up already warm — every key answered from the reloaded
+         cache, payloads identical, p50 within 2x of the in-process warm
+         pass — without recomputing anything. *)
+      if not (Sys.file_exists cache_path) then
+        failwith "graceful shutdown did not save the cache sidecar";
+      if Sys.file_exists sock_path then Sys.remove sock_path;
+      let child2 = fork_daemon () in
+      let conn2 = connect_retry () in
+      (match Client.request conn2 (J.Obj [ ("op", J.Str "ping") ]) with
+      | Ok _ -> ()
+      | Error msg -> failwith ("restart ping failed: " ^ msg));
+      let query2 fields =
+        Client.request conn2 (J.Obj (("op", J.Str "query") :: fields))
+      in
+      let restart =
+        List.map
+          (fun l ->
+            let r, t =
+              timeit (fun () ->
+                  get_reply
+                    (query2
+                       [
+                         ("targets", J.Arr [ J.Str l ]);
+                         ("detector", J.Str "greedy");
+                       ]))
+            in
+            if
+              Option.bind (J.member "cached" r) (function
+                | J.Bool b -> Some b
+                | _ -> None)
+              <> Some true
+            then failwith ("restarted daemon answered cold: " ^ l);
+            t)
+          labels
+      in
+      let warm_restart_p50 = percentile restart 0.5 in
+      let served_restart =
+        get_reply (query2 [ ("detector", J.Str "gn"); ("gn_approx", J.num 128) ])
+      in
+      let restart_identity = payload_matches served_restart in
+      let stats2 =
+        match Client.request conn2 (J.Obj [ ("op", J.Str "stats") ]) with
+        | Ok r -> r
+        | Error msg -> failwith ("restart stats failed: " ^ msg)
+      in
+      let warm_entries = field_int stats2 "warm_entries" in
+      let errors2 = field_int stats2 "errors" in
+      ignore (Client.request conn2 (J.Obj [ ("op", J.Str "shutdown") ]));
+      Client.close conn2;
+      ignore (Unix.waitpid [] child2);
+      Printf.printf
+        "restart: %d entries warm-loaded   p50 %8.2f ms (in-process warm p50 %.2f ms)   identity %b\n%!"
+        warm_entries warm_restart_p50 warm_p50 restart_identity;
+      (* gates — the 2x restart bound gets a 1 ms absolute floor so a
+         sub-0.1 ms warm p50 doesn't turn scheduler jitter into a
+         failure *)
       let gates =
         [
           ("load_speedup_ge_50", speedup >= 50.0);
           ("warm_p50_lt_cold_p50", warm_p50 < cold_p50);
-          ("zero_protocol_errors", errors = 0);
-          ("served_identical_to_single_shot", identity);
+          ("zero_protocol_errors", errors = 0 && errors2 = 0);
+          ("served_identical_to_single_shot", identity && restart_identity);
           ("stampede_coalesced", n_coalesced >= 1);
+          (* Median cached latency under load stays below cold compute;
+             the tail only has to beat half the slow job's runtime —
+             on a single-core runner scheduler jitter alone can exceed
+             cold p50, but a query that serialized behind the slow job
+             would cost its full remaining runtime. *)
+          ("concurrent_fast_p50_lt_cold_p50", concurrent_p50 < cold_p50);
+          ( "concurrent_fast_p99_lt_half_slow",
+            concurrent_p99 < Float.max (slow_ms /. 2.0) cold_p50 );
+          ( "warm_restart_p50_le_2x_warm",
+            warm_entries >= 1
+            && warm_restart_p50 <= Float.max (2.0 *. warm_p50) 1.0 );
         ]
       in
       List.iter
@@ -1360,14 +1490,24 @@ let run_serve_bench ~json () =
         \  \"cold_qps\": %.1f,\n\
         \  \"warm_qps\": %.1f,\n\
         \  \"stampede_coalesced\": %d,\n\
+        \  \"slow_job_ms\": %.3f,\n\
+        \  \"concurrent_fast_p50_ms\": %.3f,\n\
+        \  \"concurrent_fast_p99_ms\": %.3f,\n\
+        \  \"warm_restart_p50_ms\": %.3f,\n\
+        \  \"warm_entries\": %d,\n\
+        \  \"cache_sidecar\": \"%s\",\n\
         \  \"served\": %d,\n\
         \  \"errors\": %d,\n\
         \  \"cache_hits\": %d,\n\
         \  \"identity\": %b,\n\
+        \  \"restart_identity\": %b,\n\
         \  \"gates\": {\n%s\n  }\n}\n"
         (json_escape spec.Harness.name) t_build t_save t_load speedup
         (List.length labels) cold_p50 cold_p99 warm_p50 warm_p99 (qps cold) (qps warm)
-        n_coalesced served_total errors cache_hits identity
+        n_coalesced slow_ms concurrent_p50 concurrent_p99 warm_restart_p50
+        warm_entries
+        (json_escape cache_path) served_total errors cache_hits identity
+        restart_identity
         (String.concat ",\n"
            (List.map
               (fun (name, cond) -> Printf.sprintf {|    "%s": %b|} (json_escape name) cond)

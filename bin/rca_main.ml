@@ -566,7 +566,7 @@ let compile_cmd =
     Term.(const run $ scale_arg $ experiment_arg $ members_arg $ output_arg)
 
 let serve_cmd =
-  let run snapshot socket port cache domains =
+  let run snapshot socket port cache domains workers queue cache_path cache_save =
     match Rca_serve.Snapshot.load snapshot with
     | Error msg ->
         Printf.eprintf "cannot load %s: %s\n" snapshot msg;
@@ -578,16 +578,26 @@ let serve_cmd =
           | `Unix path -> Printf.sprintf "unix:%s" path
           | `Tcp p -> Printf.sprintf "tcp:127.0.0.1:%d" p
         in
-        Printf.printf "serving %s on %s (cache %d, domains %d)\n%!"
-          snap.Rca_serve.Snapshot.fingerprint where cache domains;
+        Printf.printf "serving %s on %s (cache %d, domains %d, workers %d, queue %d%s)\n%!"
+          snap.Rca_serve.Snapshot.fingerprint where cache domains workers queue
+          (match cache_path with
+          | None -> ""
+          | Some p ->
+              Printf.sprintf ", cache sidecar %s%s" p
+                (match cache_save with
+                | None -> ""
+                | Some s -> Printf.sprintf " every %gs" s));
         let stats =
-          Rca_serve.Server.serve ~cache_capacity:cache ~domains addr snap
+          Rca_serve.Server.serve ~cache_capacity:cache ~domains ~workers
+            ~queue_capacity:queue ?cache_path ?cache_save_every:cache_save addr snap
         in
         Printf.printf
-          "served %d (errors %d, cache hits %d, misses %d, coalesced %d)\n"
+          "served %d (errors %d, cache hits %d, misses %d, coalesced %d, inline %d, \
+           warm-start entries %d, cache saves %d)\n"
           stats.Rca_serve.Server.served stats.Rca_serve.Server.errors
           stats.Rca_serve.Server.cache_hits stats.Rca_serve.Server.cache_misses
-          stats.Rca_serve.Server.coalesced;
+          stats.Rca_serve.Server.coalesced stats.Rca_serve.Server.inline_runs
+          stats.Rca_serve.Server.warm_entries stats.Rca_serve.Server.cache_saves;
         0
   in
   let snapshot_arg =
@@ -601,14 +611,53 @@ let serve_cmd =
       value & opt int 64
       & info [ "cache" ] ~docv:"N" ~doc:"LRU capacity for cached query answers.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Compute worker domains feeding the reactor's work queue; 0 computes every \
+             query inline (a slow query then blocks other clients).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bound on queued compute jobs; beyond it new jobs run inline as \
+             backpressure.")
+  in
+  let cache_path_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-path" ] ~docv:"PATH"
+          ~doc:
+            "Persisted-cache sidecar file: loaded at startup to answer warm after a \
+             restart (entries stamped for a different snapshot are ignored), saved on \
+             graceful shutdown.")
+  in
+  let cache_save_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cache-save" ] ~docv:"SECONDS"
+          ~doc:
+            "Also save the cache sidecar every SECONDS while serving (requires \
+             $(b,--cache-path)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a compiled snapshot over a line-delimited JSON protocol (Unix socket by \
           default, TCP with $(b,--port)).  One immutable model is shared across all \
-          requests; answers are cached and identical concurrent requests coalesce onto \
-          one computation.  Runs until a shutdown request.")
-    Term.(const run $ snapshot_arg $ socket_arg $ port_arg $ cache_arg $ domains_arg)
+          requests; query compute runs on worker domains so a slow query never stalls \
+          the socket loop, answers are cached (optionally persisted across restarts \
+          with $(b,--cache-path)) and identical concurrent requests coalesce onto one \
+          computation.  Runs until a shutdown request.")
+    Term.(
+      const run $ snapshot_arg $ socket_arg $ port_arg $ cache_arg $ domains_arg
+      $ workers_arg $ queue_arg $ cache_path_arg $ cache_save_arg)
 
 let query_cmd =
   let run socket port op targets detector engine gn_approx =

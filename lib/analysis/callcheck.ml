@@ -126,7 +126,10 @@ let check_site ctx ~line name (args : Ast.expr list) =
     else
       List.iteri
         (fun i actual ->
-          let formal_of (c : Scope.callable) = List.nth c.Scope.c_sub.Ast.s_args i in
+          (* [matching] was filtered on arity = nargs, so position [i]
+             exists in every candidate — but a candidate that still
+             lacks it (mangled AST) is skipped, not a crash *)
+          let formal_of (c : Scope.callable) = List.nth_opt c.Scope.c_sub.Ast.s_args i in
           (* type/rank: every matching candidate must reject before we flag *)
           let aty = Typecheck.expr_ty ss ~line actual in
           (match aty with
@@ -135,7 +138,7 @@ let check_site ctx ~line name (args : Ast.expr list) =
               let verdicts =
                 List.map
                   (fun (c : Scope.callable) ->
-                    match formal_ty ctx.res c (formal_of c) with
+                    match Option.bind (formal_of c) (formal_ty ctx.res c) with
                     | None -> `Unknown
                     | Some ft ->
                         if not (Typecheck.compatible ft at) then `Bad ft
@@ -158,15 +161,20 @@ let check_site ctx ~line name (args : Ast.expr list) =
                      (Printf.sprintf
                         "argument %d of '%s' is %s but the formal '%s' is %s" (i + 1)
                         name (Resolve.ty_str at)
-                        (formal_of (List.hd matching))
+                        (Option.value ~default:(Printf.sprintf "#%d" (i + 1))
+                           (formal_of (List.hd matching)))
                         (Resolve.ty_str ft))));
           (* intent: every matching candidate must write the formal *)
           let all_write =
-            List.for_all (fun c -> writes_formal ss c (formal_of c)) matching
+            List.for_all
+              (fun c ->
+                match formal_of c with Some f -> writes_formal ss c f | None -> false)
+              matching
           in
-          if all_write then begin
+          match if all_write then formal_of (List.hd matching) else None with
+          | None -> ()
+          | Some fname ->
             let c0 = List.hd matching in
-            let fname = formal_of c0 in
             let reject why var =
               ctx.add
                 (mk ctx Diagnostics.Intent_at_call_site line ~callee:c0 var
@@ -199,8 +207,7 @@ let check_site ctx ~line name (args : Ast.expr list) =
                       (Some v)
                 | _ -> ())
             | Ast.Edesig _ -> ()
-            | _ -> reject "is not a variable" (Typecheck.first_var ss actual)
-          end)
+            | _ -> reject "is not a variable" (Typecheck.first_var ss actual))
         args
   end
 

@@ -99,13 +99,12 @@ and function_call_uses ss acc ~line ~reportable name args =
     (fun (c : Scope.callable) ->
       List.iteri
         (fun i formal ->
-          if i < List.length args then
-            match
-              (Scope.formal_summary ss.Scope.ss_sums c formal, List.nth args i)
-            with
-            | Some { Scope.fs_writes = true; _ }, Ast.Edesig d ->
-                add_def acc ~origin:From_call (lhs_var ss d line) line false
-            | _ -> ())
+          match
+            (Scope.formal_summary ss.Scope.ss_sums c formal, List.nth_opt args i)
+          with
+          | Some { Scope.fs_writes = true; _ }, Some (Ast.Edesig d) ->
+              add_def acc ~origin:From_call (lhs_var ss d line) line false
+          | _ -> ())
         c.Scope.c_sub.Ast.s_args)
     cands
 
@@ -189,19 +188,18 @@ let call_stmt_facts ss acc ~line name args =
             let any_formal = ref false in
             List.iter
               (fun (c : Scope.callable) ->
-                let formals = c.Scope.c_sub.Ast.s_args in
-                if i < List.length formals then begin
-                  any_formal := true;
-                  let formal = List.nth formals i in
-                  let r, w = formal_effect ss c formal in
-                  if r then reads := true;
-                  if w then writes := true;
-                  let certain =
-                    w
-                    && (intent_of c formal = Some Ast.Out || not r)
-                  in
-                  if not certain then all_certain := false
-                end)
+                match List.nth_opt c.Scope.c_sub.Ast.s_args i with
+                | None -> ()  (* arity mismatch: this candidate has no formal here *)
+                | Some formal ->
+                    any_formal := true;
+                    let r, w = formal_effect ss c formal in
+                    if r then reads := true;
+                    if w then writes := true;
+                    let certain =
+                      w
+                      && (intent_of c formal = Some Ast.Out || not r)
+                    in
+                    if not certain then all_certain := false)
               cands;
             if !any_formal then begin
               (* index expressions of a written designator are still reads *)

@@ -118,18 +118,17 @@ and function_call_sources ctx name args : vref list =
   let cands = callables ctx name in
   List.concat_map
     (fun (c : Scope.callable) ->
-      let formals = c.Scope.c_sub.Ast.s_args in
-      let n = min (List.length formals) (List.length args) in
       List.iteri
         (fun i formal ->
-          if i < n then begin
-            let srcs = expr_sources ctx (List.nth args i) in
-            let fref =
-              { r_module = c.Scope.c_module; r_sub = c.Scope.c_sub.Ast.s_name; r_name = formal }
-            in
-            List.iter (fun s -> add_pair ctx s fref) srcs
-          end)
-        formals;
+          match List.nth_opt args i with
+          | None -> ()  (* arity mismatch: fewer actuals than formals *)
+          | Some actual ->
+              let srcs = expr_sources ctx actual in
+              let fref =
+                { r_module = c.Scope.c_module; r_sub = c.Scope.c_sub.Ast.s_name; r_name = formal }
+              in
+              List.iter (fun s -> add_pair ctx s fref) srcs)
+        c.Scope.c_sub.Ast.s_args;
       match c.Scope.c_sub.Ast.s_kind with
       | Ast.Function ->
           let rname = Ast.function_result_name c.Scope.c_sub in
@@ -191,31 +190,29 @@ let process_call ctx name args line =
   | _ ->
       List.iter
         (fun (c : Scope.callable) ->
-          let formals = c.Scope.c_sub.Ast.s_args in
-          let n = min (List.length formals) (List.length args) in
           List.iteri
             (fun i formal ->
-              if i < n then begin
-                let actual = List.nth args i in
-                let fref =
-                  {
-                    r_module = c.Scope.c_module;
-                    r_sub = c.Scope.c_sub.Ast.s_name;
-                    r_name = formal;
-                  }
-                in
-                match actual with
-                | Ast.Edesig d when lhs_assignable ctx d -> (
-                    let aref = lhs_ref ctx d in
-                    match intent_of c formal with
-                    | Some Ast.In -> add_pair ctx aref fref
-                    | Some Ast.Out -> add_pair ctx fref aref
-                    | Some Ast.Inout | None ->
-                        add_pair ctx aref fref;
-                        add_pair ctx fref aref)
-                | e -> List.iter (fun s -> add_pair ctx s fref) (expr_sources ctx e)
-              end)
-            formals)
+              match List.nth_opt args i with
+              | None -> ()  (* arity mismatch: fewer actuals than formals *)
+              | Some actual -> (
+                  let fref =
+                    {
+                      r_module = c.Scope.c_module;
+                      r_sub = c.Scope.c_sub.Ast.s_name;
+                      r_name = formal;
+                    }
+                  in
+                  match actual with
+                  | Ast.Edesig d when lhs_assignable ctx d -> (
+                      let aref = lhs_ref ctx d in
+                      match intent_of c formal with
+                      | Some Ast.In -> add_pair ctx aref fref
+                      | Some Ast.Out -> add_pair ctx fref aref
+                      | Some Ast.Inout | None ->
+                          add_pair ctx aref fref;
+                          add_pair ctx fref aref)
+                  | e -> List.iter (fun s -> add_pair ctx s fref) (expr_sources ctx e)))
+            c.Scope.c_sub.Ast.s_args)
         (callables ctx name)
 
 let process_unparsed ctx raw =

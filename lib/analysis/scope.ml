@@ -177,20 +177,20 @@ let compute_summaries (ps : program_scope) : summaries =
                 (fun c ->
                   List.iteri
                     (fun i formal ->
-                      if i < List.length args then begin
-                        let actual = List.nth args i in
-                        match intent_of_formal c formal with
-                        | Some Ast.In -> expr_reads actual
-                        | Some Ast.Out -> (
-                            match actual with
-                            | Ast.Edesig d -> mark_write (Ast.designator_base d)
-                            | _ -> expr_reads actual)
-                        | Some Ast.Inout | None -> (
-                            expr_reads actual;
-                            match actual with
-                            | Ast.Edesig d -> mark_write (Ast.designator_base d)
-                            | _ -> ())
-                      end)
+                      match List.nth_opt args i with
+                      | None -> ()  (* arity mismatch: fewer actuals than formals *)
+                      | Some actual -> (
+                          match intent_of_formal c formal with
+                          | Some Ast.In -> expr_reads actual
+                          | Some Ast.Out -> (
+                              match actual with
+                              | Ast.Edesig d -> mark_write (Ast.designator_base d)
+                              | _ -> expr_reads actual)
+                          | Some Ast.Inout | None -> (
+                              expr_reads actual;
+                              match actual with
+                              | Ast.Edesig d -> mark_write (Ast.designator_base d)
+                              | _ -> ())))
                     c.c_sub.Ast.s_args)
                 cands
           in

@@ -154,3 +154,79 @@ let shutdown t =
 let with_pool k f =
   let t = create k in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* A bounded task queue with dedicated worker domains — the serve
+   layer's compute lane.  Unlike the batch pool above (one collective
+   job at a time, caller participates), a workqueue accepts independent
+   fire-and-forget tasks from one producer and runs them on its own
+   workers, so the producer (a socket reactor) never blocks on compute.
+   Tasks communicate results themselves (the serve layer writes a
+   completion to a self-pipe); [submit] only ever refuses — it never
+   waits — because backpressure belongs to the caller's protocol, not
+   inside a lock. *)
+module Workqueue = struct
+  type task = unit -> unit
+
+  type wq = {
+    m : Mutex.t;
+    task_ready : Condition.t;
+    tasks : task Queue.t;
+    capacity : int;
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let rec worker w =
+    Mutex.lock w.m;
+    while (not w.stop) && Queue.is_empty w.tasks do
+      Condition.wait w.task_ready w.m
+    done;
+    (* on stop, drain what was accepted: every submitted task runs *)
+    if w.stop && Queue.is_empty w.tasks then Mutex.unlock w.m
+    else begin
+      let task = Queue.pop w.tasks in
+      Mutex.unlock w.m;
+      (try task () with _ -> ());
+      worker w
+    end
+
+  let create ?(workers = 1) ~capacity () =
+    if capacity < 1 then invalid_arg "Workqueue.create: capacity must be >= 1";
+    let w =
+      {
+        m = Mutex.create ();
+        task_ready = Condition.create ();
+        tasks = Queue.create ();
+        capacity;
+        stop = false;
+        workers = [];
+      }
+    in
+    w.workers <- List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker w));
+    w
+
+  let submit w task =
+    Mutex.lock w.m;
+    let accepted = (not w.stop) && Queue.length w.tasks < w.capacity in
+    if accepted then begin
+      Queue.push task w.tasks;
+      Condition.signal w.task_ready
+    end;
+    Mutex.unlock w.m;
+    accepted
+
+  let pending w =
+    Mutex.lock w.m;
+    let n = Queue.length w.tasks in
+    Mutex.unlock w.m;
+    n
+
+  let shutdown w =
+    Mutex.lock w.m;
+    w.stop <- true;
+    let ws = w.workers in
+    w.workers <- [];
+    Condition.broadcast w.task_ready;
+    Mutex.unlock w.m;
+    List.iter Domain.join ws
+end

@@ -45,3 +45,34 @@ val shutdown : t -> unit
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool k f] runs [f] with a fresh pool of [k] ways and shuts the
     pool down when [f] returns or raises. *)
+
+(** A bounded task queue with dedicated worker domains — independent
+    fire-and-forget tasks from one producer, run off the producer's
+    domain.  This is the serve layer's compute lane: the socket reactor
+    submits query jobs here and keeps multiplexing I/O while they run.
+    Contrast with the batch pool above, which runs one collective job
+    at a time with the caller participating. *)
+module Workqueue : sig
+  type task = unit -> unit
+
+  type wq
+
+  val create : ?workers:int -> capacity:int -> unit -> wq
+  (** [create ~workers ~capacity ()] spawns [workers] (>= 1, default 1)
+      dedicated domains.  At most [capacity] tasks may be queued
+      (running tasks don't count).  Raises [Invalid_argument] on
+      [capacity < 1]. *)
+
+  val submit : wq -> task -> bool
+  (** Enqueue a task; [false] (without blocking) when the queue is full
+      or shut down.  Tasks run in submission order when [workers = 1].
+      A task's exceptions are swallowed; report failures through the
+      task's own channel. *)
+
+  val pending : wq -> int
+  (** Tasks queued but not yet started. *)
+
+  val shutdown : wq -> unit
+  (** Stop accepting, let the workers drain every already-accepted
+      task, then join them.  Idempotent. *)
+end

@@ -730,7 +730,16 @@ and call_subprogram machine callee (locals, copy_back) : value =
   | Some hook -> hook callee.c_module sub.Ast.s_name locals
   | None -> ());
   copy_back ();
-  if sub.Ast.s_kind = Ast.Function then !(Hashtbl.find locals result_name) else Vlog false
+  if sub.Ast.s_kind = Ast.Function then
+    match Hashtbl.find_opt locals result_name with
+    | Some cell -> !cell
+    | None ->
+        (* copy_back removed it: the result name collided with an
+           argument local that was copied out and dropped *)
+        invalid_arg
+          (Printf.sprintf "function %s: result variable %S vanished during copy-back"
+             sub.Ast.s_name result_name)
+  else Vlog false
 
 (* --- elaboration ------------------------------------------------------------------------ *)
 
@@ -754,16 +763,31 @@ let module_order (prog : Ast.program) =
         deps)
     prog;
   let q = Queue.create () in
-  List.iter (fun m -> if Hashtbl.find indeg m.Ast.m_name = 0 then Queue.add m.Ast.m_name q) prog;
+  List.iter
+    (fun m ->
+      (* every module got an indeg entry in the pass above; a missing
+         one would mean [prog] changed under us *)
+      match Hashtbl.find_opt indeg m.Ast.m_name with
+      | Some 0 -> Queue.add m.Ast.m_name q
+      | Some _ -> ()
+      | None ->
+          invalid_arg
+            (Printf.sprintf "module_order: module %S has no in-degree entry" m.Ast.m_name))
+    prog;
   let order = ref [] in
   while not (Queue.is_empty q) do
     let name = Queue.pop q in
     order := name :: !order;
     List.iter
       (fun dep ->
-        let d = Hashtbl.find indeg dep - 1 in
-        Hashtbl.replace indeg dep d;
-        if d = 0 then Queue.add dep q)
+        match Hashtbl.find_opt indeg dep with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "module_order: dependent module %S has no in-degree entry" dep)
+        | Some n ->
+            let d = n - 1 in
+            Hashtbl.replace indeg dep d;
+            if d = 0 then Queue.add dep q)
       (Option.value ~default:[] (Hashtbl.find_opt dependents name))
   done;
   let ordered = List.rev !order in
@@ -812,10 +836,19 @@ let create ?(prng = Rca_rng.Kiss.create 1) ?(max_steps = 200_000_000) (prog : As
         mu.Ast.m_types;
       Hashtbl.replace machine.modules mu.Ast.m_name mrt)
     ordered;
+  (* pass 1 just registered every ordered module; a miss here means the
+     name was registered under a different key *)
+  let module_runtime mu =
+    match Hashtbl.find_opt machine.modules mu.Ast.m_name with
+    | Some mrt -> mrt
+    | None ->
+        invalid_arg
+          (Printf.sprintf "machine: module %S was not elaborated in pass 1" mu.Ast.m_name)
+  in
   (* interfaces: generic name -> own procedure candidates *)
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let mrt = Hashtbl.find machine.modules mu.Ast.m_name in
+      let mrt = module_runtime mu in
       List.iter
         (fun (i : Ast.interface_def) ->
           let cands =
@@ -832,7 +865,7 @@ let create ?(prng = Rca_rng.Kiss.create 1) ?(max_steps = 200_000_000) (prog : As
   (* pass 2: imports + module variable elaboration, in dependency order *)
   List.iter
     (fun (mu : Ast.module_unit) ->
-      let mrt = Hashtbl.find machine.modules mu.Ast.m_name in
+      let mrt = module_runtime mu in
       List.iter
         (fun (u : Ast.use_stmt) ->
           match Hashtbl.find_opt machine.modules u.Ast.u_module with

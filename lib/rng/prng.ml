@@ -71,4 +71,7 @@ let sample t ~n ~k =
 let choose t lst =
   match lst with
   | [] -> invalid_arg "Prng.choose: empty list"
-  | _ -> List.nth lst (int t (List.length lst))
+  | first :: _ ->
+      (* exactly one draw either way — the index is always in range, but
+         stay total rather than trusting nth *)
+      Option.value ~default:first (List.nth_opt lst (int t (List.length lst)))

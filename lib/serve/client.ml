@@ -1,13 +1,20 @@
 (* Blocking line-protocol client for the query daemon — used by
    [rca_main query], the serve benchmark and the tests.  One [request]
    is one written line and one read line; [recv] keeps any bytes read
-   past the newline for the next call. *)
+   past the newline for the next call.
+
+   The concurrent daemon completes responses out of order, so a client
+   that pipelines several requests on one connection must match replies
+   by id: [recv_matching] returns the response for a given id and
+   stashes every other reply it reads on the way for later matching
+   calls. *)
 
 module J = Jsonio
 
 type t = {
   fd : Unix.file_descr;
   mutable residue : string;  (* bytes after the last returned line *)
+  mutable stash : J.t list;  (* replies read past while matching by id *)
 }
 
 let connect (addr : Server.addr) =
@@ -15,11 +22,11 @@ let connect (addr : Server.addr) =
   | `Unix path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
-      { fd; residue = "" }
+      { fd; residue = ""; stash = [] }
   | `Tcp port ->
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      { fd; residue = "" }
+      { fd; residue = ""; stash = [] }
 
 let send_line t line =
   let payload = line ^ "\n" in
@@ -57,5 +64,25 @@ let recv t =
 let request t v =
   send t v;
   recv t
+
+let reply_id r = Option.bind (J.member "id" r) J.int_opt
+
+let recv_matching t ~id =
+  match List.partition (fun r -> reply_id r = Some id) t.stash with
+  | hit :: _, rest ->
+      t.stash <- rest;
+      Ok hit
+  | [], _ ->
+      let rec go () =
+        match recv t with
+        | Error _ as e -> e
+        | Ok r ->
+            if reply_id r = Some id then Ok r
+            else begin
+              t.stash <- t.stash @ [ r ];
+              go ()
+            end
+      in
+      go ()
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

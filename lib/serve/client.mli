@@ -15,6 +15,13 @@ val recv : t -> (Jsonio.t, string) result
 val recv_line : t -> string option
 
 val request : t -> Jsonio.t -> (Jsonio.t, string) result
-(** [send] then [recv]. *)
+(** [send] then [recv].  Only safe when at most one request is
+    outstanding; pipelined requests must use {!recv_matching}. *)
+
+val recv_matching : t -> id:int -> (Jsonio.t, string) result
+(** Next response whose ["id"] field equals [id].  The concurrent
+    daemon completes responses out of order; replies for other ids read
+    along the way are stashed and returned by their own matching
+    calls.  [Error] on a closed connection or unparseable bytes. *)
 
 val close : t -> unit

@@ -9,11 +9,18 @@
     [cached]/[coalesced] flags, slice and refinement sizes, candidate
     locations and located bugs.
 
-    The server is a single-threaded [Unix.select] reactor; query
-    results are cached in an LRU keyed by the canonical request, and
-    identical requests drained in the same readiness round coalesce on
-    one computation.  Malformed lines and failing queries produce
-    error replies — the daemon never dies on request input. *)
+    The socket loop is a [Unix.select] reactor that only parses,
+    dispatches and writes; query compute runs on a bounded work queue
+    of dedicated worker domains ({!Rca_graph.Pool.Workqueue}), so a
+    slow cold query never stalls other clients.  Responses complete
+    out of order — clients match them to requests by the echoed [id].
+    Results are cached in an LRU keyed by the canonical request; a
+    request whose key is already computing attaches to the in-flight
+    job (its reply is flagged ["coalesced"]).  With [~cache_path] the
+    LRU persists to a checksummed sidecar ({!Cache}) and reloads at
+    startup, so a restarted daemon answers warm.  Malformed lines and
+    failing queries produce error replies — the daemon never dies on
+    request input. *)
 
 type addr = [ `Unix of string | `Tcp of int ]
 (** Where to listen: a Unix-domain socket path (unlinked and rebound if
@@ -25,15 +32,40 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable coalesced : int;
-      (** cache hits whose entry was computed earlier in the same
-          select round — suppressed stampede members *)
+      (** requests that attached to an in-flight computation of the
+          same key — suppressed stampede members *)
+  mutable inline_runs : int;
+      (** jobs computed on the reactor itself: the work queue was full
+          (backpressure) or the daemon runs with [workers = 0] *)
+  mutable warm_entries : int;
+      (** cache entries reloaded from the persisted sidecar at startup *)
+  mutable cache_saves : int;  (** sidecar writes (periodic + shutdown) *)
 }
 
 val serve :
-  ?cache_capacity:int -> ?domains:int -> ?on_ready:(unit -> unit) -> addr -> Snapshot.t -> stats
-(** Run the daemon until a ["shutdown"] request.  [cache_capacity]
-    (default 64) bounds the LRU; [domains] (default 1) sizes one shared
-    domain pool for the refinement hot paths — per-request ["domains"]
-    fields are accepted and ignored, so results never depend on client
-    configuration.  [on_ready] fires after the socket is listening
-    (e.g. to signal a forked parent).  Returns the final counters. *)
+  ?cache_capacity:int ->
+  ?domains:int ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_path:string ->
+  ?cache_save_every:float ->
+  ?on_ready:(unit -> unit) ->
+  addr ->
+  Snapshot.t ->
+  stats
+(** Run the daemon until a ["shutdown"] request (in-flight queries are
+    drained and their replies flushed before the sockets close).
+
+    [cache_capacity] (default 64) bounds the LRU; [domains] (default 1)
+    sizes one shared domain pool for the refinement hot paths —
+    per-request ["domains"] fields are accepted and ignored, so results
+    never depend on client configuration.  [workers] (default 1) sizes
+    the compute work queue; [0] restores the fully synchronous reactor
+    (every query computes inline, blocking the loop).  [queue_capacity]
+    (default 64) bounds queued jobs; when full, new jobs compute inline
+    as backpressure rather than being refused.  [cache_path] names the
+    persisted-cache sidecar: loaded at startup (entries stamped for a
+    different snapshot are ignored), saved on graceful shutdown and
+    every [cache_save_every] seconds (never saved when omitted).
+    [on_ready] fires after the socket is listening (e.g. to signal a
+    forked parent).  Returns the final counters. *)

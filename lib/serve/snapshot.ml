@@ -13,22 +13,17 @@
    on a loaded snapshot is bitwise identical to one on the freshly
    built model.
 
-   Layout (all integers little-endian int64):
-
-     "RCASNAP\n"  8-byte magic
-     version      rejected unless equal to [current_version]
-     payload_len
-     checksum     FNV-1a 64 over the payload bytes
-     payload      fingerprint/scale/experiment, adjacency, node
-                  metadata, lookup tables, build stats, experiment
-                  context — every table flattened in sorted key order
-
-   [load] never raises: wrong magic, wrong version, truncation, a
-   checksum mismatch and structural garbage each produce a distinct
-   [Error] message. *)
+   Framing (magic "RCASNAP\n" + version + length + FNV-1a 64 checksum,
+   all integers little-endian int64) is shared with the persisted query
+   cache — see [Binio].  [load] never raises: wrong magic, wrong
+   version, truncation, a checksum mismatch and structural garbage each
+   produce a distinct [Error] message; [load] and [describe] have
+   separate typed readers, so a malformed file can only ever surface as
+   an [Error], never as an assertion failure in the daemon. *)
 
 module G = Rca_graph
 module MG = Rca_metagraph.Metagraph
+module B = Binio
 
 type t = {
   version : int;
@@ -52,326 +47,214 @@ type t = {
 
 let current_version = 1
 let magic = "RCASNAP\n"
-let header_len = 8 + 8 + 8 + 8
-
-let fnv1a64 s =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
-    s;
-  !h
 
 (* --- writing --------------------------------------------------------------- *)
-
-let w_i64 buf v = Buffer.add_int64_le buf v
-let w_int buf i = w_i64 buf (Int64.of_int i)
-let w_byte buf b = Buffer.add_char buf (if b then '\001' else '\000')
-
-let w_str buf s =
-  w_int buf (String.length s);
-  Buffer.add_string buf s
-
-let w_list buf f items =
-  w_int buf (List.length items);
-  List.iter (f buf) items
 
 let sorted_bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
 let write_payload buf t =
-  w_str buf t.fingerprint;
-  w_str buf t.scale;
-  w_str buf t.experiment;
+  B.w_str buf t.fingerprint;
+  B.w_str buf t.scale;
+  B.w_str buf t.experiment;
   (* adjacency: both orders verbatim — see the module comment *)
   let succ, pred = G.Digraph.adjacency t.mg.MG.graph in
   let n = Array.length succ in
   if Array.length t.mg.MG.node_meta <> n then
     invalid_arg "Snapshot.save: node_meta length disagrees with the graph";
-  w_int buf n;
-  Array.iter (fun vs -> w_list buf w_int vs) succ;
-  Array.iter (fun us -> w_list buf w_int us) pred;
+  B.w_int buf n;
+  Array.iter (fun vs -> B.w_list buf B.w_int vs) succ;
+  Array.iter (fun us -> B.w_list buf B.w_int us) pred;
   Array.iter
     (fun nd ->
-      w_str buf nd.MG.canonical;
-      w_str buf nd.MG.unique;
-      w_str buf nd.MG.module_;
-      w_str buf nd.MG.subprogram;
-      w_int buf nd.MG.line;
-      w_byte buf nd.MG.synthetic)
+      B.w_str buf nd.MG.canonical;
+      B.w_str buf nd.MG.unique;
+      B.w_str buf nd.MG.module_;
+      B.w_str buf nd.MG.subprogram;
+      B.w_int buf nd.MG.line;
+      B.w_byte buf nd.MG.synthetic)
     t.mg.MG.node_meta;
-  w_list buf
+  B.w_list buf
     (fun buf (k, id) ->
-      w_str buf k;
-      w_int buf id)
+      B.w_str buf k;
+      B.w_int buf id)
     (sorted_bindings t.mg.MG.by_key);
   (* by_canonical is NOT serialized: the loader re-derives it with the
      builder's own loop, so its per-name id order can never drift from
      the node array *)
-  w_list buf
+  B.w_list buf
     (fun buf (label, names) ->
-      w_str buf label;
-      w_list buf w_str names)
+      B.w_str buf label;
+      B.w_list buf B.w_str names)
     (sorted_bindings t.mg.MG.io_map);
-  w_list buf
+  B.w_list buf
     (fun buf ((u, v), origins) ->
-      w_int buf u;
-      w_int buf v;
-      w_list buf
+      B.w_int buf u;
+      B.w_int buf v;
+      B.w_list buf
         (fun buf (m, s, line) ->
-          w_str buf m;
-          w_str buf s;
-          w_int buf line)
+          B.w_str buf m;
+          B.w_str buf s;
+          B.w_int buf line)
         origins)
     (sorted_bindings t.mg.MG.edge_origins);
   let st = t.mg.MG.stats in
-  w_int buf st.MG.assignments_total;
-  w_int buf st.MG.parsed_primary;
-  w_int buf st.MG.parsed_relaxed;
-  w_int buf st.MG.parsed_scraped;
-  w_int buf st.MG.unhandled;
+  B.w_int buf st.MG.assignments_total;
+  B.w_int buf st.MG.parsed_primary;
+  B.w_int buf st.MG.parsed_relaxed;
+  B.w_int buf st.MG.parsed_scraped;
+  B.w_int buf st.MG.unhandled;
   (match t.keep_modules with
-  | None -> w_byte buf false
+  | None -> B.w_byte buf false
   | Some ms ->
-      w_byte buf true;
-      w_list buf w_str ms);
-  w_list buf w_int t.bug_nodes;
-  w_list buf w_str t.default_targets
+      B.w_byte buf true;
+      B.w_list buf B.w_str ms);
+  B.w_list buf B.w_int t.bug_nodes;
+  B.w_list buf B.w_str t.default_targets
 
-let save path t =
-  let payload = Buffer.create (1 lsl 16) in
-  write_payload payload t;
-  let payload = Buffer.contents payload in
-  let buf = Buffer.create (String.length payload + header_len) in
-  Buffer.add_string buf magic;
-  w_i64 buf (Int64.of_int current_version);
-  w_i64 buf (Int64.of_int (String.length payload));
-  w_i64 buf (fnv1a64 payload);
-  Buffer.add_string buf payload;
-  (* write-then-rename so a crash mid-save never leaves a half snapshot
-     at the advertised path *)
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Buffer.contents buf));
-  Sys.rename tmp path
+let save path t = B.write_framed ~magic ~version:current_version path (fun buf -> write_payload buf t)
+
+(* The FNV-1a 64 checksum of the serialized payload — the model's
+   byte-level identity.  Deterministic across save/load (tables are
+   flattened in sorted key order), so a persisted cache stamped with it
+   is invalidated automatically when the model is recompiled. *)
+let checksum t =
+  let buf = Buffer.create (1 lsl 16) in
+  write_payload buf t;
+  B.fnv1a64 (Buffer.contents buf)
 
 (* --- reading --------------------------------------------------------------- *)
 
-exception Corrupt of string
+(* The three leading identity strings, shared by both readers. *)
+let read_identity r =
+  let fingerprint = B.r_str r in
+  let scale = B.r_str r in
+  let experiment = B.r_str r in
+  (fingerprint, scale, experiment)
 
-type reader = { data : string; mutable pos : int }
-
-let need r k =
-  if r.pos + k > String.length r.data then raise (Corrupt "payload ends mid-field")
-
-let r_i64 r =
-  need r 8;
-  let v = String.get_int64_le r.data r.pos in
-  r.pos <- r.pos + 8;
-  v
-
-let r_int r =
-  let v = r_i64 r in
-  let i = Int64.to_int v in
-  if Int64.of_int i <> v then raise (Corrupt "integer field out of range");
-  i
-
-let r_len r what =
-  let i = r_int r in
-  if i < 0 || i > String.length r.data then
-    raise (Corrupt (Printf.sprintf "implausible %s length %d" what i));
-  i
-
-let r_byte r =
-  need r 1;
-  let c = r.data.[r.pos] in
-  r.pos <- r.pos + 1;
-  match c with
-  | '\000' -> false
-  | '\001' -> true
-  | _ -> raise (Corrupt "bad boolean byte")
-
-let r_str r =
-  let k = r_len r "string" in
-  need r k;
-  let s = String.sub r.data r.pos k in
-  r.pos <- r.pos + k;
-  s
-
-let r_list r f =
-  let k = r_len r "list" in
-  let rec go i acc = if i = k then List.rev acc else go (i + 1) (f r :: acc) in
-  go 0 []
-
-let read_payload ~version ~fingerprint_only data =
-  let r = { data; pos = 0 } in
-  let fingerprint = r_str r in
-  let scale = r_str r in
-  let experiment = r_str r in
-  if fingerprint_only then
-    Either.Left (fingerprint, scale, experiment)
-  else begin
-    let n = r_len r "node count" in
-    let rec rows i acc = if i = n then Array.of_list (List.rev acc) else rows (i + 1) (r_list r r_int :: acc) in
-    let succ = rows 0 [] in
-    let pred = rows 0 [] in
-    let node_meta =
-      let rec metas i acc =
-        if i = n then Array.of_list (List.rev acc)
-        else begin
-          let canonical = r_str r in
-          let unique = r_str r in
-          let module_ = r_str r in
-          let subprogram = r_str r in
-          let line = r_int r in
-          let synthetic = r_byte r in
-          metas (i + 1) ({ MG.canonical; unique; module_; subprogram; line; synthetic } :: acc)
-        end
-      in
-      metas 0 []
-    in
-    let by_key_pairs =
-      r_list r (fun r ->
-          let k = r_str r in
-          let id = r_int r in
-          (k, id))
-    in
-    let io_pairs =
-      r_list r (fun r ->
-          let label = r_str r in
-          let names = r_list r r_str in
-          (label, names))
-    in
-    let origin_pairs =
-      r_list r (fun r ->
-          let u = r_int r in
-          let v = r_int r in
-          let origins =
-            r_list r (fun r ->
-                let m = r_str r in
-                let s = r_str r in
-                let line = r_int r in
-                (m, s, line))
-          in
-          ((u, v), origins))
-    in
-    (* bind each field first: record-field evaluation order is
-       unspecified, the reader's cursor is not *)
-    let assignments_total = r_int r in
-    let parsed_primary = r_int r in
-    let parsed_relaxed = r_int r in
-    let parsed_scraped = r_int r in
-    let unhandled = r_int r in
-    let stats =
-      { MG.assignments_total; parsed_primary; parsed_relaxed; parsed_scraped; unhandled }
-    in
-    let keep_modules = if r_byte r then Some (r_list r r_str) else None in
-    let bug_nodes = r_list r r_int in
-    let default_targets = r_list r r_str in
-    if r.pos <> String.length data then raise (Corrupt "payload has trailing bytes");
-    List.iter
-      (fun id -> if id < 0 || id >= n then raise (Corrupt "bug node id out of range"))
-      bug_nodes;
-    let graph =
-      try G.Digraph.of_adjacency ~n ~succ ~pred
-      with Invalid_argument msg -> raise (Corrupt msg)
-    in
-    (* frozen CSR straight from the succ rows: row offsets from the list
-       lengths, columns by in-order concatenation — exactly the walk
-       [Csr.of_digraph] performs, so the arrays are bitwise equal *)
-    let row = Array.make (n + 1) 0 in
-    for u = 0 to n - 1 do
-      row.(u + 1) <- row.(u) + List.length succ.(u)
-    done;
-    let col = Array.make row.(n) 0 in
-    let cursor = ref 0 in
-    Array.iter
-      (fun vs ->
-        List.iter
-          (fun v ->
-            col.(!cursor) <- v;
-            incr cursor)
-          vs)
-      succ;
-    let csr =
-      try G.Csr.of_rows ~row ~col with Invalid_argument msg -> raise (Corrupt msg)
-    in
-    let frozen = Rca_core.Frozen.of_csr csr in
-    let by_key = Hashtbl.create (max 16 (2 * List.length by_key_pairs)) in
-    List.iter (fun (k, id) -> Hashtbl.replace by_key k id) by_key_pairs;
-    let by_canonical = Hashtbl.create 1024 in
-    Array.iteri
-      (fun id nd ->
-        let cur = Option.value ~default:[] (Hashtbl.find_opt by_canonical nd.MG.canonical) in
-        Hashtbl.replace by_canonical nd.MG.canonical (id :: cur))
-      node_meta;
-    let io_map = Hashtbl.create (max 16 (2 * List.length io_pairs)) in
-    List.iter (fun (label, names) -> Hashtbl.replace io_map label names) io_pairs;
-    let edge_origins = Hashtbl.create (max 16 (2 * List.length origin_pairs)) in
-    List.iter (fun (k, origins) -> Hashtbl.replace edge_origins k origins) origin_pairs;
-    let mg = { MG.graph; node_meta; by_key; by_canonical; io_map; edge_origins; stats } in
-    Either.Right
-      {
-        version;
-        fingerprint;
-        scale;
-        experiment;
-        mg;
-        frozen;
-        keep_modules;
-        bug_nodes;
-        default_targets;
-      }
-  end
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let load_gen ~fingerprint_only path =
-  match read_file path with
-  | exception Sys_error msg -> Error (Printf.sprintf "cannot read snapshot: %s" msg)
-  | data -> (
-      if String.length data < header_len then
-        Error "truncated snapshot: shorter than the fixed header"
-      else if String.sub data 0 8 <> magic then
-        Error "not a snapshot file (bad magic)"
+let read_full ~version data =
+  let r = B.reader data in
+  let fingerprint, scale, experiment = read_identity r in
+  let n = B.r_len r "node count" in
+  let rec rows i acc = if i = n then Array.of_list (List.rev acc) else rows (i + 1) (B.r_list r B.r_int :: acc) in
+  let succ = rows 0 [] in
+  let pred = rows 0 [] in
+  let node_meta =
+    let rec metas i acc =
+      if i = n then Array.of_list (List.rev acc)
       else begin
-        let version = Int64.to_int (String.get_int64_le data 8) in
-        if version <> current_version then
-          Error
-            (Printf.sprintf
-               "snapshot version %d but this build reads version %d — recompile the model"
-               version current_version)
-        else begin
-          let payload_len = Int64.to_int (String.get_int64_le data 16) in
-          let checksum = String.get_int64_le data 24 in
-          if payload_len < 0 || header_len + payload_len > String.length data then
-            Error "truncated snapshot: payload shorter than the header claims"
-          else if header_len + payload_len < String.length data then
-            Error "corrupt snapshot: trailing bytes after the payload"
-          else begin
-            let payload = String.sub data header_len payload_len in
-            if fnv1a64 payload <> checksum then
-              Error "snapshot checksum mismatch: the payload bytes are corrupt"
-            else
-              match read_payload ~version ~fingerprint_only payload with
-              | result -> Ok result
-              | exception Corrupt msg -> Error (Printf.sprintf "corrupt snapshot: %s" msg)
-          end
-        end
-      end)
+        let canonical = B.r_str r in
+        let unique = B.r_str r in
+        let module_ = B.r_str r in
+        let subprogram = B.r_str r in
+        let line = B.r_int r in
+        let synthetic = B.r_byte r in
+        metas (i + 1) ({ MG.canonical; unique; module_; subprogram; line; synthetic } :: acc)
+      end
+    in
+    metas 0 []
+  in
+  let by_key_pairs =
+    B.r_list r (fun r ->
+        let k = B.r_str r in
+        let id = B.r_int r in
+        (k, id))
+  in
+  let io_pairs =
+    B.r_list r (fun r ->
+        let label = B.r_str r in
+        let names = B.r_list r B.r_str in
+        (label, names))
+  in
+  let origin_pairs =
+    B.r_list r (fun r ->
+        let u = B.r_int r in
+        let v = B.r_int r in
+        let origins =
+          B.r_list r (fun r ->
+              let m = B.r_str r in
+              let s = B.r_str r in
+              let line = B.r_int r in
+              (m, s, line))
+        in
+        ((u, v), origins))
+  in
+  (* bind each field first: record-field evaluation order is
+     unspecified, the reader's cursor is not *)
+  let assignments_total = B.r_int r in
+  let parsed_primary = B.r_int r in
+  let parsed_relaxed = B.r_int r in
+  let parsed_scraped = B.r_int r in
+  let unhandled = B.r_int r in
+  let stats =
+    { MG.assignments_total; parsed_primary; parsed_relaxed; parsed_scraped; unhandled }
+  in
+  let keep_modules = if B.r_byte r then Some (B.r_list r B.r_str) else None in
+  let bug_nodes = B.r_list r B.r_int in
+  let default_targets = B.r_list r B.r_str in
+  if not (B.at_end r) then raise (B.Corrupt "payload has trailing bytes");
+  List.iter
+    (fun id -> if id < 0 || id >= n then raise (B.Corrupt "bug node id out of range"))
+    bug_nodes;
+  let graph =
+    try G.Digraph.of_adjacency ~n ~succ ~pred
+    with Invalid_argument msg -> raise (B.Corrupt msg)
+  in
+  (* frozen CSR straight from the succ rows: row offsets from the list
+     lengths, columns by in-order concatenation — exactly the walk
+     [Csr.of_digraph] performs, so the arrays are bitwise equal *)
+  let row = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row.(u + 1) <- row.(u) + List.length succ.(u)
+  done;
+  let col = Array.make row.(n) 0 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun vs ->
+      List.iter
+        (fun v ->
+          col.(!cursor) <- v;
+          incr cursor)
+        vs)
+    succ;
+  let csr =
+    try G.Csr.of_rows ~row ~col with Invalid_argument msg -> raise (B.Corrupt msg)
+  in
+  let frozen = Rca_core.Frozen.of_csr csr in
+  let by_key = Hashtbl.create (max 16 (2 * List.length by_key_pairs)) in
+  List.iter (fun (k, id) -> Hashtbl.replace by_key k id) by_key_pairs;
+  let by_canonical = Hashtbl.create 1024 in
+  Array.iteri
+    (fun id nd ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_canonical nd.MG.canonical) in
+      Hashtbl.replace by_canonical nd.MG.canonical (id :: cur))
+    node_meta;
+  let io_map = Hashtbl.create (max 16 (2 * List.length io_pairs)) in
+  List.iter (fun (label, names) -> Hashtbl.replace io_map label names) io_pairs;
+  let edge_origins = Hashtbl.create (max 16 (2 * List.length origin_pairs)) in
+  List.iter (fun (k, origins) -> Hashtbl.replace edge_origins k origins) origin_pairs;
+  let mg = { MG.graph; node_meta; by_key; by_canonical; io_map; edge_origins; stats } in
+  {
+    version;
+    fingerprint;
+    scale;
+    experiment;
+    mg;
+    frozen;
+    keep_modules;
+    bug_nodes;
+    default_targets;
+  }
+
+let verified_payload path = B.read_framed ~magic ~version:current_version ~kind:"snapshot" path
 
 let load path =
-  match load_gen ~fingerprint_only:false path with
-  | Error _ as e -> e
-  | Ok (Either.Right t) -> Ok t
-  | Ok (Either.Left _) -> assert false
+  Result.bind (verified_payload path) (fun payload ->
+      match read_full ~version:current_version payload with
+      | t -> Ok t
+      | exception B.Corrupt msg -> Error (Printf.sprintf "corrupt snapshot: %s" msg))
 
 let describe path =
-  match load_gen ~fingerprint_only:true path with
-  | Error _ as e -> e
-  | Ok (Either.Left id) -> Ok id
-  | Ok (Either.Right _) -> assert false
+  Result.bind (verified_payload path) (fun payload ->
+      match read_identity (B.reader payload) with
+      | id -> Ok id
+      | exception B.Corrupt msg -> Error (Printf.sprintf "corrupt snapshot: %s" msg))

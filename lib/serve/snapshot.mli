@@ -45,6 +45,12 @@ val save : string -> t -> unit
     Raises [Sys_error] on I/O failure and [Invalid_argument] if [t] is
     internally inconsistent. *)
 
+val checksum : t -> int64
+(** FNV-1a 64 of the serialized payload — the model's byte-level
+    identity.  Stable across save/load; the persisted query cache is
+    stamped with it so recompiling the model invalidates stale
+    entries. *)
+
 val load : string -> (t, string) result
 (** Read, verify (magic, version, length, checksum, structure) and
     reconstruct.  Never raises; each failure mode has a distinct

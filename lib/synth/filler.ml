@@ -76,10 +76,20 @@ let utility_module ~rng idx =
   pr "end module %s" name;
   (name, Printf.sprintf "%s.F90" name, Buffer.contents buf, n_funs)
 
-(* Pick a random combination of previously defined work variables. *)
+(* Pick a random combination of previously defined work variables.
+   Draw order is part of the determinism contract: the float01 gate
+   fires only when [defined] is non-empty, and each branch costs
+   exactly one integer draw. *)
 let rand_operand rng defined state_reads =
   if defined = [] || Rca_rng.Prng.float01 rng < 0.2 then
-    List.nth state_reads (Rca_rng.Prng.int rng (List.length state_reads))
+    match state_reads with
+    | [] ->
+        if defined = [] then
+          invalid_arg "Filler.rand_operand: no state reads and no defined variables"
+        else Rca_rng.Prng.choose rng defined
+    | first :: _ ->
+        Option.value ~default:first
+          (List.nth_opt state_reads (Rca_rng.Prng.int rng (List.length state_reads)))
   else Rca_rng.Prng.choose rng defined
 
 (* One filler parameterization module.  [target] decides which buffer its

@@ -13,6 +13,8 @@ module Server = Rca_serve.Server
 module Client = Rca_serve.Client
 module Lru = Rca_serve.Lru
 module J = Rca_serve.Jsonio
+module Cache = Rca_serve.Cache
+module Binio = Rca_serve.Binio
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -311,9 +313,110 @@ let snapshot_rejects_damage () =
   expect_error ~substr:"bad magic" (String.make 64 'j');
   check_bool "pristine bytes still load" true (Result.is_ok (load_bytes data))
 
+(* Re-wrap a (corrupted) payload in a valid frame — fresh length and
+   checksum — so the structural readers, not the framing checks, must
+   reject it.  These used to be [assert false] territory. *)
+let reframe payload =
+  let b = Buffer.create (String.length payload + 32) in
+  Buffer.add_string b "RCASNAP\n";
+  Buffer.add_int64_le b (Int64.of_int Snap.current_version);
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_int64_le b (Binio.fnv1a64 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let snapshot_rejects_payload_damage () =
+  let data = Lazy.force saved_bytes in
+  let payload = String.sub data 32 (String.length data - 32) in
+  check_bool "reframed pristine payload loads" true (Result.is_ok (load_bytes (reframe payload)));
+  (* payload cut mid-field, but with a consistent header *)
+  expect_error ~substr:"ends mid-field"
+    (reframe (String.sub payload 0 (String.length payload - 1)));
+  (* structurally complete payload followed by junk *)
+  expect_error ~substr:"trailing bytes" (reframe (payload ^ "zz"));
+  (* implausible leading string length (first field: fingerprint) *)
+  let huge = Bytes.of_string payload in
+  Bytes.set_int64_le huge 0 0x7fffffffffL;
+  expect_error ~substr:"implausible" (reframe (Bytes.to_string huge));
+  let negative = Bytes.of_string payload in
+  Bytes.set_int64_le negative 0 (-1L);
+  expect_error ~substr:"implausible" (reframe (Bytes.to_string negative))
+
+(* --- persisted query cache ---------------------------------------------------------- *)
+
+let mk_answer i =
+  {
+    Cache.a_targets = [ Printf.sprintf "T%d" i ];
+    a_detector = "gn";
+    a_engine = "masked";
+    a_slice_nodes = 10 * i;
+    a_slice_targets = 1;
+    a_iterations = 2;
+    a_outcome = "converged";
+    a_final_nodes = i + 1;
+    a_candidates = [ (Printf.sprintf "cand%d" i, "mod", "sub", 40 + i) ];
+    a_located = [ "mod::sub@41" ];
+  }
+
+let cache_roundtrip_and_invalidation () =
+  let lru = Lru.create 4 in
+  Lru.add lru "k1" (mk_answer 1);
+  Lru.add lru "k2" (mk_answer 2);
+  Lru.add lru "k3" (mk_answer 3);
+  ignore (Lru.find lru "k1");
+  (* recency now: k1, k3, k2 *)
+  let path = Filename.temp_file "rca_cache_test" ".rcacache" in
+  Cache.save path ~snapshot_checksum:42L lru;
+  (match Cache.load path ~snapshot_checksum:42L ~capacity:4 with
+  | Ok (loaded, n) ->
+      check_int "entry count" 3 n;
+      check_bool "entries and recency order survive" true (Lru.to_list loaded = Lru.to_list lru)
+  | Error msg -> Alcotest.failf "cache load failed: %s" msg);
+  (* a smaller capacity keeps the most recent entries *)
+  (match Cache.load path ~snapshot_checksum:42L ~capacity:2 with
+  | Ok (loaded, _) ->
+      check_bool "eviction honours saved recency" true
+        (List.map fst (Lru.to_list loaded) = [ "k1"; "k3" ])
+  | Error msg -> Alcotest.failf "cache load failed: %s" msg);
+  (* checksum-mismatch invalidation: a recompiled model rejects the file *)
+  (match Cache.load path ~snapshot_checksum:43L ~capacity:4 with
+  | Ok _ -> Alcotest.fail "cache stamped for another snapshot was accepted"
+  | Error msg ->
+      check_bool "names the snapshot mismatch" true
+        (contains_substring msg "different snapshot"));
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    Bytes.to_string b
+  in
+  let load_cache_bytes bytes =
+    let p = Filename.temp_file "rca_cache_test" ".rcacache" in
+    let oc = open_out_bin p in
+    output_string oc bytes;
+    close_out oc;
+    let r = Cache.load p ~snapshot_checksum:42L ~capacity:4 in
+    Sys.remove p;
+    r
+  in
+  let expect_cache_error ~substr bytes =
+    match load_cache_bytes bytes with
+    | Ok _ -> Alcotest.failf "damaged cache loaded (wanted error with %S)" substr
+    | Error msg ->
+        if not (contains_substring msg substr) then
+          Alcotest.failf "error %S does not mention %S" msg substr
+  in
+  expect_cache_error ~substr:"bad magic" (flip data 0);
+  expect_cache_error ~substr:"cache version" (flip data 8);
+  expect_cache_error ~substr:"checksum mismatch" (flip data 40);
+  expect_cache_error ~substr:"shorter than the fixed header" (String.sub data 0 12)
+
 (* --- forked daemon end to end ------------------------------------------------------- *)
 
-let with_daemon f =
+let with_daemon ?cache_path ?(workers = 1) f =
   let snap = Lazy.force compiled in
   let dir = Filename.temp_file "rca_serve_test" "" in
   Sys.remove dir;
@@ -324,7 +427,8 @@ let with_daemon f =
   let child =
     match Unix.fork () with
     | 0 ->
-        (try ignore (Server.serve ~cache_capacity:8 (`Unix sock) snap) with _ -> ());
+        (try ignore (Server.serve ~cache_capacity:8 ~workers ?cache_path (`Unix sock) snap)
+         with _ -> ());
         Unix._exit 0
     | pid -> pid
   in
@@ -415,6 +519,168 @@ let daemon_survives_garbage () =
         | Some e -> e = 6
         | None -> false))
 
+let strip_reply r =
+  match r with
+  | J.Obj fields ->
+      List.filter
+        (fun (k, _) -> k <> "cached" && k <> "coalesced" && k <> "elapsed_ms" && k <> "id")
+        fields
+  | _ -> Alcotest.fail "reply not an object"
+
+(* The deliberately slow query: exact Girvan-Newman driven down to
+   single-node communities.  Never primed, so it always computes. *)
+let slow_fields id =
+  [
+    ("op", J.Str "query");
+    ("id", J.num id);
+    ("detector", J.Str "gn");
+    ("stop_size", J.num 1);
+    ("max_iterations", J.num 50);
+  ]
+
+(* Run the slow query's exact parameterization through the in-process
+   pipeline, for field-for-field comparison with the served reply. *)
+let in_process_slow () =
+  let snap = Lazy.force compiled in
+  let keep_module m =
+    match snap.Snap.keep_modules with None -> true | Some ms -> List.mem m ms
+  in
+  let targets = List.sort_uniq compare snap.Snap.default_targets in
+  let partitioner = Option.get (Rca_core.Refine.partitioner_of_string "gn") in
+  Rca_core.Pipeline.run ~keep_module ~min_cluster:4 ~m_sample:10 ~min_community:3
+    ~max_iterations:50 ~stop_size:1 ~partitioner ~engine:`Masked ~frozen:snap.Snap.frozen
+    snap.Snap.mg ~outputs:targets
+    ~detect:(Rca_core.Detector.reachability snap.Snap.mg ~bug_nodes:snap.Snap.bug_nodes)
+
+(* Tentpole behavior: a slow cold query must not stall the reactor —
+   fast cached queries pipelined behind it on the SAME connection are
+   answered first, out of order, and every payload stays identical to
+   its single-shot equivalent. *)
+let daemon_concurrent_out_of_order () =
+  with_daemon (fun conn ->
+      let fast = [ ("op", J.Str "query"); ("detector", J.Str "greedy") ] in
+      let primed = reply conn fast in
+      check_bool "primed ok" true (status primed = Some "ok");
+      Client.send conn (J.Obj (slow_fields 1));
+      for i = 2 to 5 do
+        Client.send conn (J.Obj (("id", J.num i) :: fast))
+      done;
+      let order = ref [] in
+      for _ = 1 to 5 do
+        match Client.recv conn with
+        | Ok r -> (
+            match Option.bind (J.member "id" r) J.int_opt with
+            | Some id -> order := (id, r) :: !order
+            | None -> Alcotest.fail "reply without id")
+        | Error msg -> Alcotest.failf "recv failed: %s" msg
+      done;
+      let order = List.rev !order in
+      let ids = List.map fst order in
+      check_bool "every request answered" true (List.sort compare ids = [ 1; 2; 3; 4; 5 ]);
+      check_bool "fast replies arrive before the slow one" true
+        (match List.rev ids with 1 :: _ -> true | _ -> false);
+      List.iter
+        (fun (id, r) ->
+          if id >= 2 then begin
+            check_bool "fast reply cached" true (J.member "cached" r = Some (J.Bool true));
+            check_bool "fast payload identical to single-shot" true
+              (strip_reply r = strip_reply primed)
+          end)
+        order;
+      let slow = List.assoc 1 order in
+      check_bool "slow ok" true (status slow = Some "ok");
+      let pipeline = in_process_slow () in
+      let result = pipeline.Rca_core.Pipeline.result in
+      let geti k = Option.bind (J.member k slow) J.int_opt in
+      check_bool "slow slice_nodes" true
+        (geti "slice_nodes"
+        = Some (List.length pipeline.Rca_core.Pipeline.slice.Rca_core.Slice.nodes));
+      check_bool "slow iterations" true
+        (geti "iterations" = Some (List.length result.Rca_core.Refine.iterations));
+      check_bool "slow final_nodes" true
+        (geti "final_nodes" = Some (List.length result.Rca_core.Refine.final_nodes));
+      check_bool "slow outcome" true
+        (Option.bind (J.member "outcome" slow) J.string_opt
+        = Some (Rca_core.Refine.outcome_string result.Rca_core.Refine.outcome));
+      let snap = Lazy.force compiled in
+      let expected_cands = Rca_core.Pipeline.candidates snap.Snap.mg pipeline in
+      (match Option.bind (J.member "candidates" slow) J.list_opt with
+      | None -> Alcotest.fail "slow reply has no candidates"
+      | Some items ->
+          let got =
+            List.map
+              (fun it ->
+                ( Option.get (Option.bind (J.member "name" it) J.string_opt),
+                  Option.get (Option.bind (J.member "module" it) J.string_opt),
+                  Option.get (Option.bind (J.member "subprogram" it) J.string_opt),
+                  Option.get (Option.bind (J.member "line" it) J.int_opt) ))
+              items
+          in
+          check_bool "slow candidates identical to single-shot" true (got = expected_cands));
+      let expected_located =
+        Rca_core.Pipeline.located_bugs snap.Snap.mg pipeline ~bug_nodes:snap.Snap.bug_nodes
+        |> List.map (fun id -> (MG.node snap.Snap.mg id).MG.unique)
+      in
+      check_bool "slow located bugs identical to single-shot" true
+        (match Option.bind (J.member "located_bugs" slow) J.list_opt with
+        | Some items -> List.filter_map J.string_opt items = expected_located
+        | None -> false))
+
+(* Two identical cold requests pipelined together: the second attaches
+   to the first's in-flight job instead of recomputing. *)
+let daemon_inflight_coalescing () =
+  with_daemon (fun conn ->
+      Client.send conn (J.Obj (slow_fields 1));
+      Client.send conn (J.Obj (slow_fields 2));
+      let r1 =
+        match Client.recv_matching conn ~id:1 with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "recv 1 failed: %s" msg
+      in
+      let r2 =
+        match Client.recv_matching conn ~id:2 with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "recv 2 failed: %s" msg
+      in
+      check_bool "first computes" true (J.member "cached" r1 = Some (J.Bool false));
+      check_bool "first not coalesced" true (J.member "coalesced" r1 = Some (J.Bool false));
+      check_bool "second coalesced onto the in-flight job" true
+        (J.member "coalesced" r2 = Some (J.Bool true));
+      check_bool "second not served from the LRU" true
+        (J.member "cached" r2 = Some (J.Bool false));
+      check_bool "coalesced payload identical" true (strip_reply r1 = strip_reply r2))
+
+(* Warm restart: a daemon with a cache sidecar saves on shutdown; the
+   next daemon on the same sidecar answers the same query from cache
+   immediately, with an identical payload. *)
+let daemon_warm_restart () =
+  let dir = Filename.temp_file "rca_cache_restart" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let cache_path = Filename.concat dir "rca.cache" in
+  let fast = [ ("op", J.Str "query"); ("detector", J.Str "greedy") ] in
+  let first_run =
+    with_daemon ~cache_path (fun conn ->
+        let r = reply conn fast in
+        check_bool "cold daemon computes" true (J.member "cached" r = Some (J.Bool false));
+        strip_reply r)
+  in
+  check_bool "sidecar written on shutdown" true (Sys.file_exists cache_path);
+  with_daemon ~cache_path (fun conn ->
+      let r = reply conn fast in
+      check_bool "restarted daemon answers warm" true
+        (J.member "cached" r = Some (J.Bool true));
+      check_bool "warm payload identical across restart" true (strip_reply r = first_run);
+      let stats = reply conn [ ("op", J.Str "stats") ] in
+      check_bool "warm entries reported" true
+        (match Option.bind (J.member "warm_entries" stats) J.int_opt with
+        | Some n -> n >= 1
+        | None -> false));
+  (try
+     if Sys.file_exists cache_path then Sys.remove cache_path;
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
+
 let daemon_empty_targets_default () =
   with_daemon (fun conn ->
       let q = reply conn [ ("op", J.Str "query"); ("detector", J.Str "greedy") ] in
@@ -451,11 +717,20 @@ let () =
             (snapshot_pipeline_identical `List);
           Alcotest.test_case "describe" `Quick snapshot_describe;
           Alcotest.test_case "rejects damage" `Quick snapshot_rejects_damage;
+          Alcotest.test_case "rejects payload damage" `Quick snapshot_rejects_payload_damage;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "roundtrip and invalidation" `Quick
+            cache_roundtrip_and_invalidation;
         ] );
       ( "daemon",
         [
           Alcotest.test_case "query and cache" `Quick daemon_query_and_cache;
           Alcotest.test_case "survives garbage" `Quick daemon_survives_garbage;
+          Alcotest.test_case "concurrent out-of-order" `Quick daemon_concurrent_out_of_order;
+          Alcotest.test_case "in-flight coalescing" `Quick daemon_inflight_coalescing;
+          Alcotest.test_case "warm restart" `Quick daemon_warm_restart;
           Alcotest.test_case "empty targets use defaults" `Quick daemon_empty_targets_default;
         ] );
     ]
